@@ -1,0 +1,88 @@
+//! Ablation: the shared-memory contention machinery.
+//!
+//! DESIGN.md §6 lists three contention mechanisms layered onto the coherence
+//! oracle: hot-line occupancy, test-and-test-and-set spin traffic, and the
+//! contended-lock penalty (aggregated spinner interference / LimitLESS
+//! traps). This ablation disables them one at a time on the write-shared
+//! counting network — without them, SM is implausibly fast and the paper's
+//! "CM w/HW beats SM under high contention" crossover disappears.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::counting::CountingExperiment;
+use migrate_rt::Scheme;
+use proteus::{CoherenceCosts, Cycles};
+use std::hint::black_box;
+
+fn sm_with(coh: CoherenceCosts) -> CountingExperiment {
+    CountingExperiment {
+        coherence_override: Some(coh),
+        ..CountingExperiment::paper(48, 0, Scheme::shared_memory())
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cm_hw = CountingExperiment::paper(48, 0, Scheme::computation_migration().with_hardware())
+        .run(Cycles(100_000), Cycles(300_000));
+    println!("\n=== Ablation: SM contention model (counting network, 48 procs, 0 think) ===");
+    println!(
+        "CM w/HW reference: {:.3} req/1000cyc",
+        cm_hw.throughput_per_1000
+    );
+    println!(
+        "{:<34} {:>12} {:>14} {:>14}",
+        "SM variant", "req/1000cyc", "words/10cyc", "beats CM w/HW?"
+    );
+
+    let full = CoherenceCosts::default();
+    let no_penalty = CoherenceCosts {
+        contended_lock_penalty: Cycles::ZERO,
+        ..CoherenceCosts::default()
+    };
+    let no_spin = CoherenceCosts {
+        max_spin_reads: 0,
+        ..CoherenceCosts::default()
+    };
+    let bare = CoherenceCosts {
+        contended_lock_penalty: Cycles::ZERO,
+        max_spin_reads: 0,
+        limitless_trap: Cycles::ZERO,
+        limitless_per_sharer: Cycles::ZERO,
+        ..CoherenceCosts::default()
+    };
+
+    for (label, coh) in [
+        ("full model", full),
+        ("- contended-lock penalty", no_penalty),
+        ("- spin reads", no_spin),
+        ("- all contention extras", bare),
+    ] {
+        let m = sm_with(coh).run(Cycles(100_000), Cycles(300_000));
+        println!(
+            "{:<34} {:>12.3} {:>14.2} {:>14}",
+            label,
+            m.throughput_per_1000,
+            m.bandwidth_words_per_10,
+            if m.throughput_per_1000 > cm_hw.throughput_per_1000 {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_contention");
+    group.sample_size(10);
+    group.bench_function("sm_full_contention_model", |b| {
+        b.iter(|| {
+            black_box(
+                sm_with(CoherenceCosts::default())
+                    .run(Cycles(50_000), Cycles(150_000))
+                    .throughput_per_1000,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: the two documented RPC calibration constants.
+//!
+//! DESIGN.md §6 calibrates `rpc_dispatch` (general-purpose stub dispatch at
+//! the server) and `rpc_stub_words` (the generic argument record) against
+//! Tables 1–2. This ablation sweeps them to show what each buys: with both
+//! at zero, RPC and CP tie at the root bottleneck (message counts alone do
+//! not explain the paper's gap); the paper's ratios appear as the documented
+//! stub costs are restored. Also isolates the two hardware-support estimates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::{CostModel, Scheme};
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn rpc_with(dispatch: u64, stub_words: u64) -> BTreeExperiment {
+    let cost = CostModel {
+        rpc_dispatch: Cycles(dispatch),
+        rpc_stub_words: stub_words,
+        ..CostModel::default()
+    };
+    BTreeExperiment {
+        cost_override: Some(cost),
+        ..BTreeExperiment::paper(0, Scheme::rpc())
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Ablation: RPC general-stub costs (B-tree, 0 think) ===");
+    let cp = BTreeExperiment::paper(0, Scheme::computation_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    println!("CP reference: {:.3} ops/1000cyc, {:.2} words/10cyc",
+        cp.throughput_per_1000, cp.bandwidth_words_per_10);
+    println!(
+        "{:<12} {:<12} {:>12} {:>14} {:>10}",
+        "dispatch", "stub words", "ops/1000cyc", "words/10cyc", "CP/RPC"
+    );
+    for (dispatch, words) in [(0u64, 0u64), (0, 16), (300, 16), (600, 0), (600, 16), (1200, 16)] {
+        let m = rpc_with(dispatch, words).run(Cycles(100_000), Cycles(300_000));
+        println!(
+            "{:<12} {:<12} {:>12.3} {:>14.2} {:>10.2}",
+            dispatch,
+            words,
+            m.throughput_per_1000,
+            m.bandwidth_words_per_10,
+            cp.throughput_per_1000 / m.throughput_per_1000
+        );
+    }
+
+    println!("\n=== Ablation: hardware-support estimates in isolation (CP) ===");
+    for (label, cost) in [
+        ("software", CostModel::default()),
+        ("+register NIC", CostModel::default().with_hw_message_support()),
+        ("+HW GOID", CostModel::default().with_hw_goid_support()),
+        (
+            "+both",
+            CostModel::default()
+                .with_hw_message_support()
+                .with_hw_goid_support(),
+        ),
+    ] {
+        let exp = BTreeExperiment {
+            cost_override: Some(cost),
+            ..BTreeExperiment::paper(0, Scheme::computation_migration())
+        };
+        let m = exp.run(Cycles(100_000), Cycles(300_000));
+        println!("{label:<16} {:>10.3} ops/1000cyc", m.throughput_per_1000);
+    }
+
+    let mut group = c.benchmark_group("ablation_costs");
+    group.sample_size(10);
+    for dispatch in [0u64, 600] {
+        group.bench_function(format!("rpc_dispatch_{dispatch}"), |b| {
+            b.iter(|| {
+                black_box(
+                    rpc_with(dispatch, 16)
+                        .run(Cycles(50_000), Cycles(150_000))
+                        .throughput_per_1000,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

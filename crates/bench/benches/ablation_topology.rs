@@ -1,0 +1,60 @@
+//! Ablation: counting-network construction — the paper's 6-layer bitonic
+//! network versus the 9-layer periodic network (extension). Same width,
+//! same counting guarantee, 50% more stages: under computation migration
+//! each extra stage is an extra hop, so the bitonic network's shallower
+//! pipeline wins on both latency and saturation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::counting::{CountingExperiment, Topology};
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn cell(topology: Topology, requesters: u32, scheme: Scheme) -> CountingExperiment {
+    CountingExperiment {
+        topology,
+        ..CountingExperiment::paper(requesters, 0, scheme)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Ablation: bitonic (paper) vs periodic (extension) network ===");
+    println!(
+        "{:<10} {:<22} {:>8} {:>12} {:>14} {:>14}",
+        "topology", "scheme", "stages", "req/1000cyc", "words/10cyc", "op latency"
+    );
+    for topology in [Topology::Bitonic, Topology::Periodic] {
+        for scheme in [Scheme::computation_migration(), Scheme::shared_memory()] {
+            let exp = cell(topology, 32, scheme);
+            let (mut runner, spec) = exp.build();
+            let m = runner.run(Cycles(100_000), Cycles(300_000));
+            println!(
+                "{:<10} {:<22} {:>8} {:>12.3} {:>14.2} {:>14.0}",
+                format!("{topology:?}"),
+                scheme.label(),
+                spec.wiring.depth(),
+                m.throughput_per_1000,
+                m.bandwidth_words_per_10,
+                m.mean_op_latency
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_topology");
+    group.sample_size(10);
+    for topology in [Topology::Bitonic, Topology::Periodic] {
+        group.bench_function(format!("cm_32/{topology:?}"), |b| {
+            b.iter(|| {
+                black_box(
+                    cell(topology, 32, Scheme::computation_migration())
+                        .run(Cycles(50_000), Cycles(150_000))
+                        .throughput_per_1000,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Extension benchmark: object migration and thread migration next to the
+//! paper's three mechanisms on both workloads (DESIGN.md §7).
+
+use bench::{extension_rows, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::counting::CountingExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Extensions: OM (Emerald-style) and TM vs the paper's mechanisms ===");
+    let (counting, btree) = extension_rows(0);
+    print!("{}", render_rows("counting network, 32 requesters, 0 think:", &counting));
+    print!("{}", render_rows("B-tree, 16 requesters, 0 think:", &btree));
+
+    let mut group = c.benchmark_group("ext_mechanisms");
+    group.sample_size(10);
+    for scheme in [Scheme::object_migration(), Scheme::thread_migration()] {
+        group.bench_function(format!("counting_16/{}", scheme.label()), |b| {
+            b.iter(|| {
+                black_box(
+                    CountingExperiment::paper(16, 0, scheme)
+                        .run(Cycles(50_000), Cycles(150_000))
+                        .throughput_per_1000,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

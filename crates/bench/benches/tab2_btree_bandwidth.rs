@@ -1,0 +1,33 @@
+//! Table 2: B-tree network bandwidth at zero think time, all nine schemes.
+
+use bench::{btree_table, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 2 (measured): B-tree bandwidth, 0 think ===");
+    println!("paper (words/10cyc): SM 75 | RPC 7.3 | RPC HW 9.9 | RPC repl 7.0 |");
+    println!("  RPC repl&HW 9.3 | CP 3.5 | CP HW 4.3 | CP repl 3.8 | CP repl&HW 3.9");
+    let rows = btree_table(0, &Scheme::table1_rows());
+    print!("{}", render_rows("measured:", &rows));
+    println!("shape: SM needs an order of magnitude more words; RPC needs more than CP;");
+    println!("HW raises bandwidth slightly (same words, more ops).");
+
+    let mut group = c.benchmark_group("tab2");
+    group.sample_size(10);
+    for scheme in [Scheme::shared_memory(), Scheme::rpc(), Scheme::computation_migration()] {
+        group.bench_function(format!("btree_bandwidth/{}", scheme.label()), |b| {
+            b.iter(|| {
+                let m = BTreeExperiment::paper(0, scheme).run(Cycles(50_000), Cycles(200_000));
+                black_box(m.bandwidth_words_per_10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

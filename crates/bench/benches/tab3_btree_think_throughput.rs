@@ -1,0 +1,34 @@
+//! Table 3: B-tree throughput at 10 000-cycle think time — the light-
+//! contention regime where SM and CP w/repl.&HW are "almost identical".
+
+use bench::{btree_table_think, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 3 (measured): B-tree throughput, 10000 think ===");
+    println!("paper (ops/1000cyc): SM 1.071 | CP w/repl. 0.9816 | CP w/repl.&HW 1.053");
+    let rows = btree_table_think();
+    print!("{}", render_rows("measured:", &rows));
+
+    let mut group = c.benchmark_group("tab3");
+    group.sample_size(10);
+    for scheme in [
+        Scheme::shared_memory(),
+        Scheme::computation_migration().with_replication().with_hardware(),
+    ] {
+        group.bench_function(format!("btree_10000think/{}", scheme.label()), |b| {
+            b.iter(|| {
+                let m = BTreeExperiment::paper(10_000, scheme).run(Cycles(50_000), Cycles(200_000));
+                black_box(m.throughput_per_1000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 4: B-tree bandwidth at 10 000-cycle think time — even when
+//! throughputs converge, shared memory keeps paying coherence bandwidth.
+
+use bench::{btree_table_think, render_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrate_apps::btree::BTreeExperiment;
+use migrate_rt::Scheme;
+use proteus::Cycles;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 4 (measured): B-tree bandwidth, 10000 think ===");
+    println!("paper (words/10cyc): SM 16 | CP w/repl. 2.5 | CP w/repl.&HW 2.7");
+    let rows = btree_table_think();
+    print!("{}", render_rows("measured:", &rows));
+
+    let mut group = c.benchmark_group("tab4");
+    group.sample_size(10);
+    group.bench_function("btree_10000think_bandwidth/SM", |b| {
+        b.iter(|| {
+            let m = BTreeExperiment::paper(10_000, Scheme::shared_memory())
+                .run(Cycles(50_000), Cycles(200_000));
+            black_box(m.bandwidth_words_per_10)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

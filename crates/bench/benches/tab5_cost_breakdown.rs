@@ -1,0 +1,26 @@
+//! Table 5: per-category cost of one activation migration in the counting
+//! network, re-derived from the runtime's cycle accounting.
+
+use bench::migration_breakdown;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Table 5 (measured): cycles per migration by category ===");
+    println!("paper: total 651 (user 150, transit 17, receiver ~341, sender ~143)");
+    let (lines, total, migrations) = migration_breakdown();
+    println!("measured over {migrations} migrations: total {total:.1}");
+    for line in &lines {
+        println!("{:<28} {:>8.1}", line.category, line.cycles);
+    }
+
+    let mut group = c.benchmark_group("tab5");
+    group.sample_size(10);
+    group.bench_function("migration_breakdown", |b| {
+        b.iter(|| black_box(migration_breakdown().1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Regenerate every table and figure of the paper from fresh simulations.
+//!
+//! ```text
+//! experiments [fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|all]
+//! ```
+//!
+//! With no argument (or `all`) everything runs; output is the paper's
+//! artifacts side by side with the published numbers, in EXPERIMENTS.md
+//! format.
+
+use bench::{
+    btree_table, btree_table_think, counting_sweep, extension_rows, fanout10_rows,
+    migration_breakdown, render_rows, CountingPoint,
+};
+use migrate_model::{figure1, Pattern};
+use migrate_rt::Scheme;
+
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions]";
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let known = [
+        "all", "fig1", "fig2", "fig3", "table1", "table2", "table3", "table4", "table5",
+        "fanout10", "extensions",
+    ];
+    if !known.contains(&arg.as_str()) {
+        eprintln!("unknown artifact '{arg}'\n{USAGE}");
+        std::process::exit(2);
+    }
+    let all = arg == "all";
+    if all || arg == "fig1" {
+        fig1();
+    }
+    if all || arg == "fig2" || arg == "fig3" {
+        fig2_fig3();
+    }
+    if all || arg == "table1" || arg == "table2" {
+        table1_2();
+    }
+    if all || arg == "table3" || arg == "table4" {
+        table3_4();
+    }
+    if all || arg == "table5" {
+        table5();
+    }
+    if all || arg == "fanout10" {
+        fanout10();
+    }
+    if all || arg == "extensions" {
+        extensions();
+    }
+}
+
+fn extensions() {
+    println!("== Extensions: object migration (Emerald-style) and thread migration ==");
+    println!("(mechanisms the paper discusses but did not measure; DESIGN.md §7)\n");
+    let (counting, btree) = extension_rows(0);
+    print!("{}", render_rows("counting network, 32 requesters, 0 think:", &counting));
+    println!();
+    print!("{}", render_rows("B-tree, 16 requesters, 0 think:", &btree));
+    println!();
+}
+
+fn fig1() {
+    println!("== Figure 1: message counts (analytic model, §2.5) ==");
+    println!("one thread, n consecutive accesses to each of m items\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>16}",
+        "(m, n)", "RPC", "data mig.", "computation mig."
+    );
+    let patterns = [
+        Pattern::new(1, 1),
+        Pattern::new(3, 1),
+        Pattern::new(3, 4),
+        Pattern::new(6, 1),
+        Pattern::new(6, 4),
+        Pattern::new(8, 8),
+    ];
+    for row in figure1(&patterns) {
+        println!(
+            "({:>2},{:>2})    {:>8} {:>10} {:>16}",
+            row.pattern.items, row.pattern.accesses_per_item, row.rpc, row.data_migration,
+            row.computation_migration
+        );
+    }
+    println!();
+}
+
+fn print_counting(points: &[CountingPoint], metric: &str) {
+    let labels: Vec<String> = points[0].rows.iter().map(|r| r.label.clone()).collect();
+    print!("{:<10}", "procs");
+    for l in &labels {
+        print!(" {l:>18}");
+    }
+    println!();
+    for p in points {
+        print!("{:<10}", p.requesters);
+        for row in &p.rows {
+            let v = match metric {
+                "throughput" => row.metrics.throughput_per_1000,
+                _ => row.metrics.bandwidth_words_per_10,
+            };
+            print!(" {v:>18.4}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn fig2_fig3() {
+    for think in [10_000u64, 0] {
+        println!("== Figures 2 & 3: counting network, {think} cycle think time ==");
+        let points = counting_sweep(think, &[8, 16, 32, 48, 64]);
+        println!("-- Figure 2: throughput (requests/1000 cycles) --");
+        print_counting(&points, "throughput");
+        println!("-- Figure 3: bandwidth (words sent/10 cycles) --");
+        print_counting(&points, "bandwidth");
+    }
+}
+
+fn table1_2() {
+    println!("== Tables 1 & 2: B-tree, 0 cycle think time ==");
+    println!("paper Table 1 (ops/1000cyc): SM 1.837  RPC 0.3828  RPC w/HW 0.5133");
+    println!("  RPC w/repl. 0.6060  RPC w/repl.&HW 0.7830  CP 0.8018  CP w/HW 0.9570");
+    println!("  CP w/repl. 1.155  CP w/repl.&HW 1.341");
+    println!("paper Table 2 (words/10cyc): SM 75  RPC 7.3  RPC w/HW 9.9  RPC w/repl. 7.0");
+    println!("  RPC w/repl.&HW 9.3  CP 3.5  CP w/HW 4.3  CP w/repl. 3.8  CP w/repl.&HW 3.9\n");
+    let rows = btree_table(0, &Scheme::table1_rows());
+    print!("{}", render_rows("measured:", &rows));
+    println!();
+}
+
+fn table3_4() {
+    println!("== Tables 3 & 4: B-tree, 10000 cycle think time ==");
+    println!("paper Table 3 (ops/1000cyc): SM 1.071  CP w/repl. 0.9816  CP w/repl.&HW 1.053");
+    println!("paper Table 4 (words/10cyc): SM 16  CP w/repl. 2.5  CP w/repl.&HW 2.7\n");
+    let rows = btree_table_think();
+    print!("{}", render_rows("measured:", &rows));
+    println!();
+}
+
+fn table5() {
+    println!("== Table 5: cost breakdown for one migration (counting network, CP) ==");
+    println!("paper: total 651 = user 150 + transit 17 + receiver ~341 + sender ~143\n");
+    let (lines, total, migrations) = migration_breakdown();
+    println!("measured over {migrations} migrations:");
+    println!("{:<28} {:>10}", "category", "cycles");
+    println!("{:<28} {:>10.1}", "TOTAL", total);
+    for line in lines {
+        println!("{:<28} {:>10.1}", line.category, line.cycles);
+    }
+    println!();
+}
+
+fn fanout10() {
+    println!("== §4.2 fanout-10 B-tree: CP w/repl. vs SM, 0 think time ==");
+    println!("paper: CP w/repl. 2.076 vs SM 2.427 ops/1000 cycles\n");
+    let rows = fanout10_rows();
+    print!("{}", render_rows("measured:", &rows));
+    println!();
+}

@@ -1,0 +1,300 @@
+//! # bench — experiment harness for every table and figure
+//!
+//! Shared runners behind both the `experiments` binary (which prints the
+//! paper's tables/figures from fresh simulations) and the Criterion benches.
+//! Each function corresponds to one artifact of the paper's evaluation;
+//! DESIGN.md §4 maps them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use migrate_apps::btree::BTreeExperiment;
+use migrate_apps::counting::CountingExperiment;
+use migrate_rt::{categories as cat, RunMetrics, Scheme};
+use proteus::Cycles;
+
+/// Default warm-up for counting-network points.
+pub const COUNTING_WARMUP: Cycles = Cycles(150_000);
+/// Default measurement window for counting-network points.
+pub const COUNTING_WINDOW: Cycles = Cycles(400_000);
+/// Default warm-up for B-tree rows.
+pub const BTREE_WARMUP: Cycles = Cycles(200_000);
+/// Default measurement window for B-tree rows.
+pub const BTREE_WINDOW: Cycles = Cycles(800_000);
+
+/// One measured row: scheme label + metrics.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Scheme label as printed in the paper.
+    pub label: String,
+    /// The measured metrics.
+    pub metrics: RunMetrics,
+}
+
+/// One Figure 2/3 point: requester count + all five scheme rows.
+#[derive(Clone, Debug)]
+pub struct CountingPoint {
+    /// Total requesting processes.
+    pub requesters: u32,
+    /// Rows in the figure's legend order.
+    pub rows: Vec<Row>,
+}
+
+/// Run one counting-network cell.
+pub fn counting_cell(requesters: u32, think: u64, scheme: Scheme) -> RunMetrics {
+    CountingExperiment::paper(requesters, think, scheme).run(COUNTING_WARMUP, COUNTING_WINDOW)
+}
+
+/// Figures 2 and 3: sweep requester counts for all five schemes at one
+/// think time. Independent simulations fan out over OS threads.
+pub fn counting_sweep(think: u64, requester_counts: &[u32]) -> Vec<CountingPoint> {
+    let schemes = Scheme::figure2_rows();
+    let mut points: Vec<CountingPoint> = requester_counts
+        .iter()
+        .map(|&requesters| CountingPoint {
+            requesters,
+            rows: Vec::new(),
+        })
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &requesters in requester_counts {
+            for &scheme in &schemes {
+                handles.push((
+                    requesters,
+                    scheme,
+                    scope.spawn(move |_| counting_cell(requesters, think, scheme)),
+                ));
+            }
+        }
+        for (requesters, scheme, handle) in handles {
+            let metrics = handle.join().expect("simulation thread panicked");
+            let point = points
+                .iter_mut()
+                .find(|p| p.requesters == requesters)
+                .expect("point exists");
+            point.rows.push(Row {
+                label: scheme.label(),
+                metrics,
+            });
+        }
+    })
+    .expect("scope");
+    points
+}
+
+/// Run one B-tree row.
+pub fn btree_cell(think: u64, scheme: Scheme, fanout: usize) -> RunMetrics {
+    let exp = if fanout == 100 {
+        BTreeExperiment::paper(think, scheme)
+    } else {
+        BTreeExperiment {
+            fanout,
+            ..BTreeExperiment::paper(think, scheme)
+        }
+    };
+    exp.run(BTREE_WARMUP, BTREE_WINDOW)
+}
+
+/// Tables 1 and 2: all nine schemes at zero think time (throughput and
+/// bandwidth come from the same runs).
+pub fn btree_table(think: u64, schemes: &[Scheme]) -> Vec<Row> {
+    let mut rows: Vec<Option<Row>> = vec![None; schemes.len()];
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .map(|&scheme| scope.spawn(move |_| btree_cell(think, scheme, 100)))
+            .collect();
+        for (slot, (handle, scheme)) in rows.iter_mut().zip(handles.into_iter().zip(schemes)) {
+            *slot = Some(Row {
+                label: scheme.label(),
+                metrics: handle.join().expect("simulation thread panicked"),
+            });
+        }
+    })
+    .expect("scope");
+    rows.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Tables 3 and 4: the think-10 000 rows the paper prints (SM, CP w/repl.,
+/// CP w/repl. & HW).
+pub fn btree_table_think() -> Vec<Row> {
+    let schemes = [
+        Scheme::shared_memory(),
+        Scheme::computation_migration().with_replication(),
+        Scheme::computation_migration().with_replication().with_hardware(),
+    ];
+    btree_table(10_000, &schemes)
+}
+
+/// The §4.2 fanout-10 experiment: CP w/repl. vs SM at zero think time.
+pub fn fanout10_rows() -> Vec<Row> {
+    let schemes = [
+        Scheme::shared_memory(),
+        Scheme::computation_migration().with_replication(),
+    ];
+    let mut rows = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = schemes
+            .iter()
+            .map(|&scheme| scope.spawn(move |_| btree_cell(0, scheme, 10)))
+            .collect();
+        for (handle, scheme) in handles.into_iter().zip(schemes) {
+            rows.push(Row {
+                label: scheme.label(),
+                metrics: handle.join().expect("simulation thread panicked"),
+            });
+        }
+    })
+    .expect("scope");
+    rows
+}
+
+/// Extension comparison (DESIGN.md §7): the mechanisms the paper discusses
+/// but did not measure — Emerald-style object migration ("OM") and whole-
+/// thread migration ("TM") — next to the paper's three, on both workloads.
+pub fn extension_rows(think: u64) -> (Vec<Row>, Vec<Row>) {
+    let schemes = [
+        Scheme::shared_memory(),
+        Scheme::rpc(),
+        Scheme::computation_migration(),
+        Scheme::object_migration(),
+        Scheme::thread_migration(),
+    ];
+    let mut counting = Vec::new();
+    let mut btree = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let ch: Vec<_> = schemes
+            .iter()
+            .map(|&s| scope.spawn(move |_| counting_cell(32, think, s)))
+            .collect();
+        let bh: Vec<_> = schemes
+            .iter()
+            .map(|&s| scope.spawn(move |_| btree_cell(think, s, 100)))
+            .collect();
+        for (h, s) in ch.into_iter().zip(schemes) {
+            counting.push(Row {
+                label: s.label(),
+                metrics: h.join().expect("sim thread"),
+            });
+        }
+        for (h, s) in bh.into_iter().zip(schemes) {
+            btree.push(Row {
+                label: s.label(),
+                metrics: h.join().expect("sim thread"),
+            });
+        }
+    })
+    .expect("scope");
+    (counting, btree)
+}
+
+/// One Table 5 line: category name and mean cycles per migration.
+#[derive(Clone, Debug)]
+pub struct BreakdownLine {
+    /// Category (Table 5 row).
+    pub category: &'static str,
+    /// Mean cycles per migration.
+    pub cycles: f64,
+}
+
+/// Table 5: run the counting network under plain CM and attribute every
+/// charged cycle of the migration path to its category.
+pub fn migration_breakdown() -> (Vec<BreakdownLine>, f64, u64) {
+    let metrics = counting_cell(16, 0, Scheme::computation_migration());
+    let migrations = metrics.migrations.max(1);
+    let acct = &metrics.migration_accounting;
+    let lines: Vec<BreakdownLine> = TABLE5_CATEGORIES
+        .iter()
+        .map(|&category| BreakdownLine {
+            category,
+            cycles: acct.total(category) as f64 / migrations as f64,
+        })
+        .collect();
+    let total = acct.grand_total() as f64 / migrations as f64;
+    (lines, total, metrics.migrations)
+}
+
+/// The Table 5 categories in the paper's print order.
+pub const TABLE5_CATEGORIES: &[&str] = &[
+    cat::USER_CODE,
+    cat::NETWORK_TRANSIT,
+    cat::COPY_PACKET,
+    cat::THREAD_CREATION,
+    cat::LINKAGE_RECV,
+    cat::UNMARSHAL,
+    cat::GOID_TRANSLATION,
+    cat::SCHEDULER,
+    cat::FORWARDING_CHECK,
+    cat::ALLOC_PACKET_RECV,
+    cat::LINKAGE_SEND,
+    cat::ALLOC_PACKET_SEND,
+    cat::MESSAGE_SEND,
+    cat::MARSHAL,
+];
+
+/// Render rows as an aligned text table of throughput and bandwidth.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>10} {:>8}\n",
+        "Scheme", "ops/1000cyc", "words/10cyc", "msgs", "hitrate"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<22} {:>12.4} {:>12.2} {:>10} {:>8.3}\n",
+            row.label,
+            row.metrics.throughput_per_1000,
+            row.metrics.bandwidth_words_per_10,
+            row.metrics.messages,
+            row.metrics.cache_hit_rate,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_cell_produces_work() {
+        let m = counting_cell(8, 0, Scheme::computation_migration());
+        assert!(m.ops > 50, "ops {}", m.ops);
+        assert!(m.migrations > 0);
+    }
+
+    #[test]
+    fn sweep_collects_all_cells() {
+        let points = counting_sweep(10_000, &[8, 16]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.rows.len(), 5);
+        }
+    }
+
+    #[test]
+    fn table5_breakdown_totals_in_paper_ballpark() {
+        let (lines, total, migrations) = migration_breakdown();
+        assert!(migrations > 100, "migrations {migrations}");
+        // The paper's Table 5 totals 651 cycles per migration.
+        assert!((450.0..900.0).contains(&total), "total {total}");
+        let user = lines
+            .iter()
+            .find(|l| l.category == cat::USER_CODE)
+            .unwrap()
+            .cycles;
+        assert!((100.0..220.0).contains(&user), "user code {user}");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let rows = vec![Row {
+            label: "SM".into(),
+            metrics: counting_cell(8, 10_000, Scheme::shared_memory()),
+        }];
+        let s = render_rows("test", &rows);
+        assert!(s.contains("SM"));
+        assert!(s.contains("ops/1000cyc"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the counting network.
+//!
+//! The bitonic wiring must be a counting network for every power-of-two
+//! width: any token count and any entry-wire pattern yields the step
+//! property on the outputs, and the simulated machine agrees with the pure
+//! token-walk oracle.
+
+use migrate_apps::counting::{has_step_property, CountingExperiment, OutputCounter, Topology, Wiring};
+use migrate_rt::Scheme;
+use proptest::prelude::*;
+use proteus::Cycles;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pure_walk_counts_for_any_width(
+        width_pow in 1u32..5,
+        tokens in 0u64..2_000,
+        entry_seed in any::<u64>(),
+    ) {
+        let width = 1u32 << width_pow;
+        let w = Wiring::bitonic(width);
+        // Entry pattern derived from the seed: an arbitrary multiset.
+        let entries: Vec<u32> = (0..width)
+            .map(|i| (entry_seed.rotate_left(i) as u32) % width)
+            .collect();
+        let counts = w.pure_counts(tokens, &entries);
+        prop_assert_eq!(counts.iter().sum::<u64>(), tokens);
+        prop_assert!(has_step_property(&counts), "width {}: {:?}", width, counts);
+    }
+
+    #[test]
+    fn periodic_network_counts_for_any_width(
+        width_pow in 1u32..5,
+        tokens in 0u64..2_000,
+        entry_seed in any::<u64>(),
+    ) {
+        let width = 1u32 << width_pow;
+        let w = Wiring::periodic(width);
+        prop_assert_eq!(w.depth() as u32, width_pow * width_pow);
+        let entries: Vec<u32> = (0..width)
+            .map(|i| (entry_seed.rotate_left(i) as u32) % width)
+            .collect();
+        let counts = w.pure_counts(tokens, &entries);
+        prop_assert_eq!(counts.iter().sum::<u64>(), tokens);
+        prop_assert!(has_step_property(&counts), "periodic width {}: {:?}", width, counts);
+    }
+
+    #[test]
+    fn periodic_simulation_keeps_step_property(requesters in 1u32..6, per_thread in 1u64..12) {
+        let exp = CountingExperiment {
+            topology: Topology::Periodic,
+            requests_per_thread: Some(per_thread),
+            ..CountingExperiment::paper(requesters, 0, Scheme::computation_migration())
+        };
+        let (mut runner, spec) = exp.build();
+        runner.run_until(Cycles(60_000_000));
+        let counts: Vec<u64> = spec
+            .counters_in_output_order()
+            .iter()
+            .map(|&g| runner.system.objects().state::<OutputCounter>(g).unwrap().count)
+            .collect();
+        prop_assert_eq!(counts.iter().sum::<u64>(), u64::from(requesters) * per_thread);
+        prop_assert!(has_step_property(&counts), "{:?}", counts);
+    }
+
+    #[test]
+    fn geometry_matches_batcher(width_pow in 1u32..6) {
+        let width = 1u32 << width_pow;
+        let w = Wiring::bitonic(width);
+        // Bitonic depth: k(k+1)/2 layers of width/2 balancers.
+        let k = width_pow;
+        prop_assert_eq!(w.depth() as u32, k * (k + 1) / 2);
+        prop_assert!((0..w.depth()).all(|l| w.layer(l).len() as u32 == width / 2));
+    }
+
+    #[test]
+    fn single_thread_simulation_matches_oracle(requests in 1u64..60, entry in 0u32..8) {
+        let exp = CountingExperiment {
+            requests_per_thread: Some(requests),
+            ..CountingExperiment::paper(1, 0, Scheme::computation_migration())
+        };
+        // The single driver enters on wire (0 % 8); rebuild the entry choice
+        // by offsetting via the spec's counters instead. The driver uses
+        // thread_index % width, so entry is fixed at 0 here; the oracle is
+        // fed the same.
+        let _ = entry;
+        let (mut runner, spec) = exp.build();
+        runner.run_until(Cycles(20_000_000));
+        let sim: Vec<u64> = spec
+            .counters_in_output_order()
+            .iter()
+            .map(|&g| runner.system.objects().state::<OutputCounter>(g).unwrap().count)
+            .collect();
+        prop_assert_eq!(sim.iter().sum::<u64>(), requests, "all tokens exited");
+        let oracle = spec.wiring.pure_counts(requests, &[0]);
+        prop_assert_eq!(sim, oracle);
+    }
+
+    #[test]
+    fn drained_multithread_runs_keep_step_property(
+        requesters in 1u32..10,
+        per_thread in 1u64..20,
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [
+            Scheme::computation_migration(),
+            Scheme::rpc(),
+            Scheme::shared_memory(),
+        ][scheme_idx];
+        let exp = CountingExperiment {
+            requests_per_thread: Some(per_thread),
+            ..CountingExperiment::paper(requesters, 0, scheme)
+        };
+        let (mut runner, spec) = exp.build();
+        runner.run_until(Cycles(60_000_000));
+        let counts: Vec<u64> = spec
+            .counters_in_output_order()
+            .iter()
+            .map(|&g| runner.system.objects().state::<OutputCounter>(g).unwrap().count)
+            .collect();
+        prop_assert_eq!(
+            counts.iter().sum::<u64>(),
+            u64::from(requesters) * per_thread,
+            "machine must quiesce with all tokens out"
+        );
+        prop_assert!(has_step_property(&counts), "{:?}", counts);
+    }
+}

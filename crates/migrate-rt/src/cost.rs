@@ -1,0 +1,289 @@
+//! The runtime cost model, taken from Table 5 of the paper.
+//!
+//! Table 5 breaks down one activation migration in the counting network
+//! (651 cycles total) into categories; the same stub machinery — and hence
+//! the same constants — is exercised by RPC requests and replies. We charge
+//! the itemized constants; the paper's printed subtotals are approximate
+//! ("an fairly accurate breakdown") and do not sum exactly, which
+//! EXPERIMENTS.md notes.
+//!
+//! The two hardware-support estimates from §4 are modelled exactly as the
+//! paper describes:
+//!
+//! * **register-mapped network interface** (Henry & Joerg): packet copying
+//!   drops to ~12 cycles, packet allocation disappears (messages are composed
+//!   in registers), and marshalling/unmarshalling costs are halved;
+//! * **hardware GOID translation** (J-Machine): global object identifier
+//!   translation becomes free.
+
+use proteus::Cycles;
+
+/// Accounting category names. Keeping them as constants means every charge
+/// site and the Table 5 report agree on spelling.
+pub mod categories {
+    /// Application work (method bodies, frame-local computation).
+    pub const USER_CODE: &str = "user_code";
+    /// Wire time of messages.
+    pub const NETWORK_TRANSIT: &str = "network_transit";
+    /// Receiver: copying the packet out of the network buffer.
+    pub const COPY_PACKET: &str = "recv.copy_packet";
+    /// Receiver: creating a thread to run the request.
+    pub const THREAD_CREATION: &str = "recv.thread_creation";
+    /// Receiver: procedure linkage.
+    pub const LINKAGE_RECV: &str = "recv.procedure_linkage";
+    /// Receiver: unmarshalling values out of the message.
+    pub const UNMARSHAL: &str = "recv.unmarshal";
+    /// Receiver: global object identifier translation.
+    pub const GOID_TRANSLATION: &str = "recv.goid_translation";
+    /// Receiver: scheduling the new activation.
+    pub const SCHEDULER: &str = "recv.scheduler";
+    /// Receiver: checking whether the object has moved (forwarding).
+    pub const FORWARDING_CHECK: &str = "recv.forwarding_check";
+    /// Receiver: allocating a packet for any follow-on send.
+    pub const ALLOC_PACKET_RECV: &str = "recv.allocate_packet";
+    /// Server side of an RPC: dispatching through the general-purpose stubs
+    /// (thread set-up/tear-down via the scheduler, re-copied arguments).
+    pub const RPC_DISPATCH: &str = "recv.rpc_dispatch";
+    /// Sender: procedure linkage into the stub.
+    pub const LINKAGE_SEND: &str = "send.procedure_linkage";
+    /// Sender: allocating the outgoing packet.
+    pub const ALLOC_PACKET_SEND: &str = "send.allocate_packet";
+    /// Sender: injecting the message into the network.
+    pub const MESSAGE_SEND: &str = "send.message_send";
+    /// Sender: marshalling values into the message.
+    pub const MARSHAL: &str = "send.marshal";
+    /// Locality check performed on *every* instance-method call.
+    pub const LOCALITY_CHECK: &str = "locality_check";
+    /// Local (same-processor) procedure call/return linkage.
+    pub const LOCAL_LINKAGE: &str = "local_linkage";
+    /// Stall cycles spent spinning on object locks (shared memory).
+    pub const LOCK_STALL: &str = "lock_stall";
+    /// Stall cycles in the coherence protocol (shared-memory misses).
+    pub const MEMORY_STALL: &str = "memory_stall";
+    /// Applying a software-replication update at a replica.
+    pub const REPLICA_APPLY: &str = "replica_apply";
+}
+
+/// Cycle costs of the message-passing runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Copying the received packet (76 in Table 5; 12 with a register NIC).
+    pub copy_packet: Cycles,
+    /// Creating a server thread for a request (66). Prelude skipped this for
+    /// "short methods" via an Active-Messages-style path; see
+    /// [`CostModel::receive`]'s `short_method`.
+    pub thread_creation: Cycles,
+    /// Receiver-side procedure linkage (66).
+    pub linkage_recv: Cycles,
+    /// Fixed part of unmarshalling (plus [`CostModel::unmarshal_per_word`]).
+    pub unmarshal_base: Cycles,
+    /// Per-word unmarshalling cost.
+    pub unmarshal_per_word: Cycles,
+    /// Translating the GOID in the message to a local pointer (36; 0 in HW).
+    pub goid_translation: Cycles,
+    /// Scheduling the new activation (36).
+    pub scheduler: Cycles,
+    /// Forwarding check (23): has the object migrated away?
+    pub forwarding_check: Cycles,
+    /// Allocating a packet on the receive path (16; 0 with a register NIC).
+    pub alloc_packet_recv: Cycles,
+    /// Sender-side procedure linkage (44).
+    pub linkage_send: Cycles,
+    /// Allocating the outgoing packet (35; 0 with a register NIC).
+    pub alloc_packet_send: Cycles,
+    /// Injecting the message (23).
+    pub message_send: Cycles,
+    /// Fixed part of marshalling (plus [`CostModel::marshal_per_word`]).
+    pub marshal_base: Cycles,
+    /// Per-word marshalling cost.
+    pub marshal_per_word: Cycles,
+    /// The locality check made on every instance-method call (charged for
+    /// local and remote calls alike — "not an extra cost for computation
+    /// migration").
+    pub locality_check: Cycles,
+    /// Local (same-processor) procedure call/return linkage.
+    pub local_call: Cycles,
+    /// Extra server-side cost of an RPC dispatched through Prelude's
+    /// *general-purpose* stubs: the request thread is set up and torn down
+    /// through the scheduler and its arguments are copied a second time
+    /// (§4.3: "we spend approximately another ten percent of our time
+    /// creating a thread to handle the request and in copying the arguments
+    /// for the thread (which were already copied once before)", plus the
+    /// general-stub overhead of §4.3's final paragraph). Computation
+    /// migration uses compiler-generated special-purpose continuation stubs
+    /// (§3.2) and does not pay this.
+    pub rpc_dispatch: Cycles,
+    /// Extra words a general-purpose RPC stub marshals per message: the
+    /// fixed argument/linkage record the generic stubs ship both ways,
+    /// versus the compact messages the compiler generates for migration
+    /// (§3.2 generates special continuation stubs; §4.3 notes the
+    /// general-stub overhead and double-copied arguments). Reflected in
+    /// both marshalling cost and network bandwidth; calibrated against the
+    /// RPC-vs-CP bandwidth ratio of Table 2 (see DESIGN.md §6).
+    pub rpc_stub_words: u64,
+    /// Applying a replica update message at a receiving processor.
+    pub replica_apply: Cycles,
+}
+
+impl Default for CostModel {
+    /// The software runtime measured in Table 5.
+    fn default() -> Self {
+        CostModel {
+            copy_packet: Cycles(76),
+            thread_creation: Cycles(66),
+            linkage_recv: Cycles(66),
+            unmarshal_base: Cycles(31),
+            unmarshal_per_word: Cycles(5),
+            goid_translation: Cycles(36),
+            scheduler: Cycles(36),
+            forwarding_check: Cycles(23),
+            alloc_packet_recv: Cycles(16),
+            linkage_send: Cycles(44),
+            alloc_packet_send: Cycles(35),
+            message_send: Cycles(23),
+            marshal_base: Cycles(10),
+            marshal_per_word: Cycles(3),
+            locality_check: Cycles(5),
+            local_call: Cycles(10),
+            rpc_dispatch: Cycles(600),
+            rpc_stub_words: 16,
+            replica_apply: Cycles(30),
+        }
+    }
+}
+
+impl CostModel {
+    /// Apply the register-mapped network-interface estimate (Henry & Joerg):
+    /// cheap copies, no packet allocation, half-price (un)marshalling.
+    pub fn with_hw_message_support(mut self) -> CostModel {
+        self.copy_packet = Cycles(12);
+        self.alloc_packet_recv = Cycles::ZERO;
+        self.alloc_packet_send = Cycles::ZERO;
+        self.marshal_base = Cycles(self.marshal_base.get() / 2);
+        self.marshal_per_word = Cycles(self.marshal_per_word.get().div_ceil(2));
+        self.unmarshal_base = Cycles(self.unmarshal_base.get() / 2);
+        self.unmarshal_per_word = Cycles(self.unmarshal_per_word.get().div_ceil(2));
+        self
+    }
+
+    /// Apply the J-Machine-style hardware GOID translation estimate.
+    pub fn with_hw_goid_support(mut self) -> CostModel {
+        self.goid_translation = Cycles::ZERO;
+        self
+    }
+
+    /// Marshalling cost for a `words`-word payload.
+    pub fn marshal(&self, words: u64) -> Cycles {
+        self.marshal_base + self.marshal_per_word * words
+    }
+
+    /// Unmarshalling cost for a `words`-word payload.
+    pub fn unmarshal(&self, words: u64) -> Cycles {
+        self.unmarshal_base + self.unmarshal_per_word * words
+    }
+
+    /// Total sender-side overhead for a `words`-word message.
+    pub fn send(&self, words: u64) -> Cycles {
+        self.linkage_send + self.alloc_packet_send + self.message_send + self.marshal(words)
+    }
+
+    /// Total receiver-side overhead for a `words`-word message.
+    ///
+    /// `short_method` models Prelude's Active-Messages-style fast path that
+    /// skips thread creation for short methods (§4.3/§4.4).
+    pub fn receive(&self, words: u64, short_method: bool) -> Cycles {
+        let thread = if short_method {
+            Cycles::ZERO
+        } else {
+            self.thread_creation
+        };
+        self.copy_packet
+            + thread
+            + self.linkage_recv
+            + self.unmarshal(words)
+            + self.goid_translation
+            + self.scheduler
+            + self.forwarding_check
+            + self.alloc_packet_recv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_receiver_overhead_matches_table5_scale() {
+        // Table 5: receiver total 341 cycles (itemized rows sum to ~370 for a
+        // ~4-word payload; the paper's subtotals are approximate).
+        let c = CostModel::default();
+        let r = c.receive(4, false).get();
+        assert!((330..=380).contains(&r), "receiver overhead {r}");
+    }
+
+    #[test]
+    fn default_sender_overhead_matches_table5_scale() {
+        // Table 5: sender total 143 cycles for the migration message.
+        let c = CostModel::default();
+        let s = c.send(4, ).get();
+        assert!((115..=150).contains(&s), "sender overhead {s}");
+    }
+
+    #[test]
+    fn full_migration_overhead_near_651() {
+        // user code 150 + transit 17 + sender + receiver ≈ 651.
+        let c = CostModel::default();
+        let total = 150 + 17 + c.send(4).get() + c.receive(4, false).get();
+        assert!((610..=700).contains(&total), "migration total {total}");
+    }
+
+    #[test]
+    fn hw_message_support_saves_about_twenty_percent() {
+        // The paper: register NIC support improved results by ~20% of the
+        // 651-cycle migration (copy ~8%, alloc+marshal ~6%, etc.).
+        let sw = CostModel::default();
+        let hw = CostModel::default().with_hw_message_support();
+        let sw_total = 150 + 17 + sw.send(4).get() + sw.receive(4, false).get();
+        let hw_total = 150 + 17 + hw.send(4).get() + hw.receive(4, false).get();
+        let saving = (sw_total - hw_total) as f64 / sw_total as f64;
+        assert!(
+            (0.12..=0.30).contains(&saving),
+            "hw message saving {saving}"
+        );
+    }
+
+    #[test]
+    fn hw_goid_support_saves_about_six_percent() {
+        let sw = CostModel::default();
+        let hw = CostModel::default().with_hw_goid_support();
+        let sw_total = 150 + 17 + sw.send(4).get() + sw.receive(4, false).get();
+        let hw_total = 150 + 17 + hw.send(4).get() + hw.receive(4, false).get();
+        let saving = (sw_total - hw_total) as f64 / sw_total as f64;
+        assert!((0.03..=0.09).contains(&saving), "hw goid saving {saving}");
+    }
+
+    #[test]
+    fn short_method_skips_thread_creation() {
+        let c = CostModel::default();
+        let diff = c.receive(2, false) - c.receive(2, true);
+        assert_eq!(diff, c.thread_creation);
+    }
+
+    #[test]
+    fn marshalling_scales_with_words() {
+        let c = CostModel::default();
+        assert_eq!(c.marshal(0), Cycles(10));
+        assert_eq!(c.marshal(4), Cycles(22)); // Table 5's marshal row
+        assert!(c.unmarshal(4) > c.marshal(4));
+    }
+
+    #[test]
+    fn hw_builders_compose() {
+        let c = CostModel::default()
+            .with_hw_message_support()
+            .with_hw_goid_support();
+        assert_eq!(c.goid_translation, Cycles::ZERO);
+        assert_eq!(c.alloc_packet_send, Cycles::ZERO);
+        assert_eq!(c.copy_packet, Cycles(12));
+    }
+}

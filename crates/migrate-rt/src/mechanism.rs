@@ -1,0 +1,260 @@
+//! Remote-access mechanisms and scheme configuration.
+//!
+//! The paper's central claim is that the *mechanism* used for a remote
+//! access — RPC, data migration (cache-coherent shared memory), or
+//! computation migration — should be a per-call-site, performance-only
+//! choice. [`Annotation`] is the program annotation of §3.1; [`Scheme`] is
+//! the machine-level configuration an experiment runs under (the rows of
+//! Tables 1–4).
+
+use crate::cost::CostModel;
+
+/// The per-call-site program annotation (§3.1).
+///
+/// Annotating a call site affects only performance, never semantics, and
+/// migration is conditional on locality: a local target is always invoked
+/// directly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Annotation {
+    /// Plain instance-method call: remote targets are reached by RPC.
+    #[default]
+    Rpc,
+    /// Migrate the current activation to the target's processor and continue
+    /// execution there (the paper's prototype: single-activation migration).
+    Migrate,
+    /// Migrate the *whole activation group above the thread base* — the
+    /// multiple-activation migration the paper names as future work (§6).
+    /// From an already-migrated group, this moves the entire group again.
+    MigrateAll,
+}
+
+/// How remote data is reached at the machine level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DataAccess {
+    /// Message passing: objects are accessed where they live, via RPC or
+    /// computation migration.
+    MessagePassing,
+    /// Cache-coherent shared memory (data migration): methods run on the
+    /// invoking processor and every field access goes through the cache.
+    SharedMemory,
+    /// Emerald-style object migration: a remote invoke *pulls the object* to
+    /// the invoking processor (its home moves; later accesses chase it).
+    /// The comparison the paper wanted but had not finished implementing
+    /// ("our group has not finished implementing object migration in
+    /// Prelude yet", §4).
+    ObjectMigration,
+    /// Whole-thread migration (§2.3): a remote invoke moves the *entire
+    /// thread* — every activation — to the data, permanently rehoming it.
+    /// The grain the paper argues is too coarse.
+    ThreadMigration,
+}
+
+/// A complete experiment configuration — one row of the paper's tables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Scheme {
+    /// Data-access substrate.
+    pub access: DataAccess,
+    /// Honor [`Annotation::Migrate`] (computation migration). When false,
+    /// annotated calls fall back to RPC — flipping this bit is the paper's
+    /// "simply moving the annotation".
+    pub migration: bool,
+    /// Register-mapped network-interface estimate (Henry & Joerg).
+    pub hw_message: bool,
+    /// Hardware GOID translation estimate (J-Machine).
+    pub hw_goid: bool,
+    /// Software replication (multi-version memory) for objects the
+    /// application marks replicated, e.g. the B-tree root.
+    pub replication: bool,
+}
+
+impl Scheme {
+    /// Cache-coherent shared memory ("SM" in the tables).
+    pub fn shared_memory() -> Scheme {
+        Scheme {
+            access: DataAccess::SharedMemory,
+            migration: false,
+            hw_message: false,
+            hw_goid: false,
+            replication: false,
+        }
+    }
+
+    /// Remote procedure call ("RPC").
+    pub fn rpc() -> Scheme {
+        Scheme {
+            access: DataAccess::MessagePassing,
+            migration: false,
+            hw_message: false,
+            hw_goid: false,
+            replication: false,
+        }
+    }
+
+    /// Computation migration ("CP" in the tables).
+    pub fn computation_migration() -> Scheme {
+        Scheme {
+            access: DataAccess::MessagePassing,
+            migration: true,
+            hw_message: false,
+            hw_goid: false,
+            replication: false,
+        }
+    }
+
+    /// Emerald-style object migration ("OM"; extension — see DESIGN.md §7).
+    pub fn object_migration() -> Scheme {
+        Scheme {
+            access: DataAccess::ObjectMigration,
+            migration: false,
+            hw_message: false,
+            hw_goid: false,
+            replication: false,
+        }
+    }
+
+    /// Whole-thread migration ("TM"; extension — see DESIGN.md §7).
+    pub fn thread_migration() -> Scheme {
+        Scheme {
+            access: DataAccess::ThreadMigration,
+            migration: false,
+            hw_message: false,
+            hw_goid: false,
+            replication: false,
+        }
+    }
+
+    /// Add both hardware-support estimates ("w/HW").
+    pub fn with_hardware(mut self) -> Scheme {
+        self.hw_message = true;
+        self.hw_goid = true;
+        self
+    }
+
+    /// Add software replication ("w/repl.").
+    pub fn with_replication(mut self) -> Scheme {
+        self.replication = true;
+        self
+    }
+
+    /// The cost model this scheme implies.
+    pub fn cost_model(&self) -> CostModel {
+        let mut c = CostModel::default();
+        if self.hw_message {
+            c = c.with_hw_message_support();
+        }
+        if self.hw_goid {
+            c = c.with_hw_goid_support();
+        }
+        c
+    }
+
+    /// Short label matching the paper's tables ("SM", "RPC w/repl. & HW", …).
+    pub fn label(&self) -> String {
+        match self.access {
+            DataAccess::SharedMemory => "SM".to_string(),
+            DataAccess::ObjectMigration => "OM".to_string(),
+            DataAccess::ThreadMigration => "TM".to_string(),
+            DataAccess::MessagePassing => {
+                let mut s = if self.migration { "CP" } else { "RPC" }.to_string();
+                match (self.replication, self.hw_message || self.hw_goid) {
+                    (true, true) => s.push_str(" w/repl. & HW"),
+                    (true, false) => s.push_str(" w/repl."),
+                    (false, true) => s.push_str(" w/HW"),
+                    (false, false) => {}
+                }
+                s
+            }
+        }
+    }
+
+    /// The nine message-passing + shared-memory rows of Tables 1 and 2, in
+    /// the paper's order.
+    pub fn table1_rows() -> Vec<Scheme> {
+        vec![
+            Scheme::shared_memory(),
+            Scheme::rpc(),
+            Scheme::rpc().with_hardware(),
+            Scheme::rpc().with_replication(),
+            Scheme::rpc().with_replication().with_hardware(),
+            Scheme::computation_migration(),
+            Scheme::computation_migration().with_hardware(),
+            Scheme::computation_migration().with_replication(),
+            Scheme::computation_migration().with_replication().with_hardware(),
+        ]
+    }
+
+    /// The five lines of Figures 2 and 3, in legend order.
+    pub fn figure2_rows() -> Vec<Scheme> {
+        vec![
+            Scheme::shared_memory(),
+            Scheme::computation_migration().with_hardware(),
+            Scheme::computation_migration(),
+            Scheme::rpc().with_hardware(),
+            Scheme::rpc(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus::Cycles;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::shared_memory().label(), "SM");
+        assert_eq!(Scheme::rpc().label(), "RPC");
+        assert_eq!(Scheme::rpc().with_hardware().label(), "RPC w/HW");
+        assert_eq!(
+            Scheme::computation_migration().with_replication().label(),
+            "CP w/repl."
+        );
+        assert_eq!(
+            Scheme::computation_migration()
+                .with_replication()
+                .with_hardware()
+                .label(),
+            "CP w/repl. & HW"
+        );
+    }
+
+    #[test]
+    fn table1_has_nine_rows_in_order() {
+        let rows = Scheme::table1_rows();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].label(), "SM");
+        assert_eq!(rows[1].label(), "RPC");
+        assert_eq!(rows[8].label(), "CP w/repl. & HW");
+    }
+
+    #[test]
+    fn figure2_has_five_lines() {
+        assert_eq!(Scheme::figure2_rows().len(), 5);
+    }
+
+    #[test]
+    fn hw_scheme_yields_cheaper_costs() {
+        let sw = Scheme::computation_migration().cost_model();
+        let hw = Scheme::computation_migration().with_hardware().cost_model();
+        assert!(hw.send(4) < sw.send(4));
+        assert!(hw.receive(4, false) < sw.receive(4, false));
+        assert_eq!(hw.goid_translation, Cycles::ZERO);
+    }
+
+    #[test]
+    fn annotation_default_is_rpc() {
+        assert_eq!(Annotation::default(), Annotation::Rpc);
+    }
+
+    #[test]
+    fn migration_bit_distinguishes_cp_from_rpc() {
+        assert!(Scheme::computation_migration().migration);
+        assert!(!Scheme::rpc().migration);
+        // Both are message passing; SM is not.
+        assert_eq!(Scheme::rpc().access, DataAccess::MessagePassing);
+        assert_eq!(
+            Scheme::shared_memory().access,
+            DataAccess::SharedMemory
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Objects: the unit of data placement.
+//!
+//! Prelude is object-based; instance methods always execute at the object
+//! (§3.1) under message passing, or on the invoking processor with the
+//! object's fields pulled through the cache under shared memory. A
+//! [`Behavior`] is written once against the [`MethodEnv`] abstraction and
+//! runs unmodified under every scheme — the paper's portability argument.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use proteus::coherence::make_addr;
+use proteus::{Cycles, ProcId};
+
+use crate::types::{Goid, MethodId, Word};
+
+/// The environment a method body executes in. Implementations differ by
+/// scheme: under message passing, field accesses are local and free (the
+/// method is already at the object); under shared memory they are metered
+/// cache accesses; on a replica, writes are forbidden.
+pub trait MethodEnv {
+    /// Charge `cycles` of user-code computation.
+    fn compute(&mut self, cycles: Cycles);
+
+    /// Read `len` bytes starting at byte `offset` within the object.
+    fn read(&mut self, offset: u64, len: u64);
+
+    /// Write `len` bytes starting at byte `offset` within the object.
+    fn write(&mut self, offset: u64, len: u64);
+
+    /// Acquire the object's lock. Under shared memory this models the
+    /// test-and-set on the object's lock word, including spin stall when the
+    /// lock is held; under message passing the home processor's serial
+    /// service already provides mutual exclusion and this is free.
+    fn lock(&mut self);
+
+    /// Release the object's lock.
+    fn unlock(&mut self);
+
+    /// Create a new object of `size_bytes`, homed at `home` or (if `None`)
+    /// at a deterministic pseudo-random data processor. Used by B-tree
+    /// splits.
+    fn create(&mut self, behavior: Box<dyn Behavior>, home: Option<ProcId>) -> Goid;
+
+    /// Deterministic pseudo-random value (seeded per run).
+    fn rng(&mut self) -> u64;
+}
+
+/// Application object state + methods.
+pub trait Behavior: 'static {
+    /// Execute `method` with `args`, producing result words. All effects on
+    /// the machine go through `env`.
+    fn invoke(&mut self, method: MethodId, args: &[Word], env: &mut dyn MethodEnv) -> Vec<Word>;
+
+    /// In-memory size of the object in bytes (determines how many cache
+    /// lines it spans under shared memory).
+    fn size_bytes(&self) -> u64;
+
+    /// Downcast support for tests and application-side inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Directory entry for one object.
+pub struct ObjectEntry {
+    /// Home processor (where the object's memory lives and, under message
+    /// passing, where its methods run).
+    pub home: ProcId,
+    /// The object's state/methods. `None` transiently while a method is
+    /// executing on it (taken out to satisfy the borrow checker; reentrant
+    /// invocation is not supported and would be a bug in the app).
+    pub behavior: Option<Box<dyn Behavior>>,
+    /// Base global address of the object's memory (lock word at offset 0 of
+    /// its first line).
+    pub base_addr: u64,
+    /// Size in bytes.
+    pub size_bytes: u64,
+    /// Whether the application marked this object for software replication.
+    pub replicated: bool,
+    /// Shared-memory lock window: the lock word is free again at this time.
+    pub lock_free_at: Cycles,
+}
+
+/// The global object table (GOID → entry). GOIDs are dense indices.
+#[derive(Default)]
+pub struct ObjectTable {
+    entries: Vec<ObjectEntry>,
+    next_offset: HashMap<ProcId, u64>,
+}
+
+impl ObjectTable {
+    /// An empty table.
+    pub fn new() -> ObjectTable {
+        ObjectTable::default()
+    }
+
+    /// Number of objects created.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Create an object at `home`, returning its GOID. Memory is allocated
+    /// contiguously in the home node's address space, line-aligned so
+    /// distinct objects never share a cache line (no false sharing between
+    /// objects; fields within one object may share lines, as on the real
+    /// machine).
+    pub fn create(&mut self, behavior: Box<dyn Behavior>, home: ProcId) -> Goid {
+        const LINE: u64 = 16;
+        let size = behavior.size_bytes().max(8);
+        let offset = self.next_offset.entry(home).or_insert(0);
+        let base_addr = make_addr(home, *offset);
+        *offset += size.div_ceil(LINE) * LINE;
+        let goid = Goid(self.entries.len() as u64);
+        self.entries.push(ObjectEntry {
+            home,
+            behavior: Some(behavior),
+            base_addr,
+            size_bytes: size,
+            replicated: false,
+            lock_free_at: Cycles::ZERO,
+        });
+        goid
+    }
+
+    /// Mark an object as software-replicated (read-only methods may be
+    /// served by a local replica when the scheme enables replication).
+    pub fn set_replicated(&mut self, goid: Goid, replicated: bool) {
+        self.entry_mut(goid).replicated = replicated;
+    }
+
+    /// Immutable entry access.
+    pub fn entry(&self, goid: Goid) -> &ObjectEntry {
+        &self.entries[goid.0 as usize]
+    }
+
+    /// Mutable entry access.
+    pub fn entry_mut(&mut self, goid: Goid) -> &mut ObjectEntry {
+        &mut self.entries[goid.0 as usize]
+    }
+
+    /// Home processor of an object.
+    pub fn home(&self, goid: Goid) -> ProcId {
+        self.entry(goid).home
+    }
+
+    /// Take the behavior out for invocation (put it back with
+    /// [`ObjectTable::put_behavior`]). Panics on reentrant invocation.
+    pub fn take_behavior(&mut self, goid: Goid) -> Box<dyn Behavior> {
+        self.entry_mut(goid)
+            .behavior
+            .take()
+            .expect("reentrant method invocation on object")
+    }
+
+    /// Return a behavior after invocation.
+    pub fn put_behavior(&mut self, goid: Goid, behavior: Box<dyn Behavior>) {
+        let slot = &mut self.entry_mut(goid).behavior;
+        debug_assert!(slot.is_none(), "behavior slot already occupied");
+        *slot = Some(behavior);
+    }
+
+    /// Immutable typed view of an object's state, for tests and app-side
+    /// verification (e.g. checking B-tree invariants after a run).
+    pub fn state<T: 'static>(&self, goid: Goid) -> Option<&T> {
+        self.entry(goid)
+            .behavior
+            .as_ref()
+            .and_then(|b| b.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable typed view of an object's state, for setup-time adjustments
+    /// and tests. Panics if a method is currently executing on the object.
+    pub fn state_mut<T: 'static>(&mut self, goid: Goid) -> Option<&mut T> {
+        self.entry_mut(goid)
+            .behavior
+            .as_mut()
+            .and_then(|b| b.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// GOIDs of all objects, in creation order.
+    pub fn goids(&self) -> impl Iterator<Item = Goid> + '_ {
+        (0..self.entries.len() as u64).map(Goid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus::coherence::home_of_addr;
+
+    struct Dummy {
+        size: u64,
+        hits: u32,
+    }
+
+    impl Behavior for Dummy {
+        fn invoke(&mut self, _m: MethodId, args: &[Word], env: &mut dyn MethodEnv) -> Vec<Word> {
+            self.hits += 1;
+            env.compute(Cycles(1));
+            vec![args.iter().sum()]
+        }
+        fn size_bytes(&self) -> u64 {
+            self.size
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn create_assigns_dense_goids_and_homes() {
+        let mut t = ObjectTable::new();
+        let a = t.create(Box::new(Dummy { size: 24, hits: 0 }), ProcId(1));
+        let b = t.create(Box::new(Dummy { size: 8, hits: 0 }), ProcId(2));
+        assert_eq!(a, Goid(0));
+        assert_eq!(b, Goid(1));
+        assert_eq!(t.home(a), ProcId(1));
+        assert_eq!(t.home(b), ProcId(2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn addresses_are_line_aligned_and_home_encoded() {
+        let mut t = ObjectTable::new();
+        let a = t.create(Box::new(Dummy { size: 24, hits: 0 }), ProcId(3));
+        let b = t.create(Box::new(Dummy { size: 8, hits: 0 }), ProcId(3));
+        let ea = t.entry(a);
+        let eb = t.entry(b);
+        assert_eq!(home_of_addr(ea.base_addr), ProcId(3));
+        assert_eq!(ea.base_addr % 16, 0);
+        // 24 bytes round to 32; next object starts one line later.
+        assert_eq!(eb.base_addr - ea.base_addr, 32);
+    }
+
+    #[test]
+    fn objects_on_different_homes_do_not_collide() {
+        let mut t = ObjectTable::new();
+        let a = t.create(Box::new(Dummy { size: 16, hits: 0 }), ProcId(0));
+        let b = t.create(Box::new(Dummy { size: 16, hits: 0 }), ProcId(1));
+        assert_ne!(t.entry(a).base_addr, t.entry(b).base_addr);
+    }
+
+    #[test]
+    fn take_put_round_trip() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 8, hits: 0 }), ProcId(0));
+        let b = t.take_behavior(g);
+        t.put_behavior(g, b);
+        assert!(t.state::<Dummy>(g).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "reentrant")]
+    fn reentrant_take_panics() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 8, hits: 0 }), ProcId(0));
+        let _b = t.take_behavior(g);
+        let _ = t.take_behavior(g);
+    }
+
+    #[test]
+    fn typed_state_downcast() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 8, hits: 5 }), ProcId(0));
+        assert_eq!(t.state::<Dummy>(g).unwrap().hits, 5);
+        assert!(t.state::<u32>(g).is_none());
+    }
+
+    #[test]
+    fn replication_flag() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 8, hits: 0 }), ProcId(0));
+        assert!(!t.entry(g).replicated);
+        t.set_replicated(g, true);
+        assert!(t.entry(g).replicated);
+    }
+
+    #[test]
+    fn minimum_size_is_one_word() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 0, hits: 0 }), ProcId(0));
+        assert_eq!(t.entry(g).size_bytes, 8);
+    }
+}

@@ -1,0 +1,2324 @@
+//! The runtime system: threads, mechanism dispatch, and metrics.
+//!
+//! This module ties everything together into an executable machine model:
+//!
+//! * application threads are stacks of [`Frame`]s living at a home processor;
+//! * an [`Invoke`] from the top frame is dispatched per the configured
+//!   [`Scheme`]: inline when local, by RPC, by *computation migration* (the
+//!   frame itself moves, with linkage passed so the final return
+//!   short-circuits back to the caller — §3.2 of the paper), or through the
+//!   cache-coherence oracle under shared memory;
+//! * every cycle charged is attributed to a Table 5 accounting category, and
+//!   migration-specific charges are additionally folded into a separate
+//!   accounting that regenerates Table 5 itself.
+
+use std::collections::HashMap;
+
+use proteus::coherence::Access;
+use proteus::engine::{Engine, Simulation};
+use proteus::event::EventQueue;
+use proteus::stats::{CycleAccounting, Histogram};
+use proteus::{
+    CacheConfig, CoherenceCosts, CoherenceSystem, Cycles, Network, NetworkConfig, ProcId,
+    Processor, ProcessorStats,
+};
+
+use crate::cost::{categories as cat, CostModel};
+use crate::frame::{Frame, Invoke, StepCtx, StepResult};
+use crate::mechanism::{Annotation, DataAccess, Scheme};
+use crate::message::{Message, MessageKind, Payload};
+use crate::object::{Behavior, MethodEnv, ObjectTable};
+use crate::rng::SplitMix64;
+use crate::types::{Goid, ThreadId, Word};
+
+/// Full machine + scheme configuration for one experiment run.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub processors: u32,
+    /// The remote-access scheme (one table row).
+    pub scheme: Scheme,
+    /// Network constants.
+    pub network: NetworkConfig,
+    /// Cache geometry (shared-memory scheme).
+    pub cache: CacheConfig,
+    /// Coherence protocol constants.
+    pub coherence: CoherenceCosts,
+    /// Seed for all runtime-internal randomness (object placement).
+    pub seed: u64,
+    /// Processors eligible to receive objects created with `home = None`
+    /// (e.g. nodes allocated by B-tree splits).
+    pub data_procs: Vec<ProcId>,
+    /// Processors holding software replicas of replicated objects.
+    pub replica_procs: Vec<ProcId>,
+    /// Words carried by one replica-update message.
+    pub replica_update_words: u64,
+    /// Override the scheme-derived cost model (ablation studies).
+    pub cost_override: Option<CostModel>,
+}
+
+impl MachineConfig {
+    /// A machine of `processors` nodes running `scheme`, with paper-default
+    /// constants everywhere else.
+    pub fn new(processors: u32, scheme: Scheme) -> MachineConfig {
+        MachineConfig {
+            processors,
+            scheme,
+            network: NetworkConfig::default(),
+            cache: CacheConfig::default(),
+            coherence: CoherenceCosts::default(),
+            seed: 0x5EED,
+            data_procs: Vec::new(),
+            replica_procs: Vec::new(),
+            replica_update_words: 16,
+            cost_override: None,
+        }
+    }
+}
+
+/// Simulation events.
+pub enum Event {
+    /// A runtime message arrives at a processor.
+    Arrive(ProcId, Message),
+    /// A processor is free to serve its next queued task.
+    Poll(ProcId),
+    /// A sleeping thread's think time expired.
+    Wake(ThreadId),
+}
+
+enum RecvCharge {
+    /// Locally generated task: no receive overhead.
+    None,
+    /// Message receive path with the Table 5 categories.
+    Message {
+        words: u64,
+        kind: MessageKind,
+        short: bool,
+    },
+    /// Lightweight replica-update application.
+    Replica,
+}
+
+enum Work {
+    /// Step a thread at its home processor.
+    Step(ThreadId),
+    /// Deliver results to the thread's top frame at home, then step.
+    Deliver {
+        thread: ThreadId,
+        results: Vec<Word>,
+        completes_op: bool,
+    },
+    /// Deliver an RPC reply to a detached (migrated) frame parked here.
+    DeliverDetached {
+        thread: ThreadId,
+        results: Vec<Word>,
+    },
+    /// A migrated activation group arrives: run its pending invoke and
+    /// continue it here.
+    MigrationArrive {
+        thread: ThreadId,
+        reply_to: ProcId,
+        frames: Vec<Box<dyn Frame>>,
+        invoke: Invoke,
+    },
+    /// Serve an object-migration pull (hand over / forward / retry).
+    ServePull {
+        thread: ThreadId,
+        reply_to: ProcId,
+        target: Goid,
+    },
+    /// Install a pulled object and let the requesting thread re-issue its
+    /// invoke (now local).
+    InstallObject {
+        thread: ThreadId,
+        target: Goid,
+        behavior: Box<dyn Behavior>,
+    },
+    /// A wholly migrated thread arrives: rehome it, run the pending invoke,
+    /// and continue.
+    ThreadArrive {
+        thread: ThreadId,
+        frames: Vec<Box<dyn Frame>>,
+        invoke: Invoke,
+    },
+    /// Server side of an RPC.
+    ServeRpc {
+        thread: ThreadId,
+        reply_to: ProcId,
+        invoke: Invoke,
+    },
+    /// Apply a software-replication update.
+    ReplicaApply,
+}
+
+struct QueuedTask {
+    recv: RecvCharge,
+    work: Work,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ThreadStatus {
+    /// Runnable or running at home.
+    Active,
+    /// Blocked in think time.
+    Sleeping,
+    /// Waiting for an RPC reply (frame parked where it called from).
+    WaitingReply,
+    /// Top activation group migrated away; waiting for its short-circuited
+    /// return.
+    Detached,
+    /// The whole thread is in flight to a new home (thread migration).
+    Moving,
+    /// Terminated.
+    Done,
+}
+
+struct ThreadState {
+    home: ProcId,
+    stack: Vec<Box<dyn Frame>>,
+    status: ThreadStatus,
+    op_started: Option<Cycles>,
+}
+
+/// A migrating activation group with its pending invoke, as carried by
+/// [`Payload::Migration`].
+type ArrivingGroup = (ProcId, Vec<Box<dyn Frame>>, Invoke);
+
+struct DetachedFrame {
+    /// The migrated activation group, bottom first (one frame in the
+    /// paper's prototype; several under multiple-activation migration).
+    stack: Vec<Box<dyn Frame>>,
+    at: ProcId,
+    reply_to: ProcId,
+}
+
+/// Metrics extracted from the measurement window of a run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Length of the measurement window.
+    pub window: Cycles,
+    /// Operations completed in the window.
+    pub ops: u64,
+    /// Paper unit: operations per 1000 cycles.
+    pub throughput_per_1000: f64,
+    /// Paper unit: words sent per 10 cycles.
+    pub bandwidth_words_per_10: f64,
+    /// Network load: word-hops per 10 cycles (words weighted by distance).
+    pub load_word_hops_per_10: f64,
+    /// Messages injected (runtime + coherence protocol).
+    pub messages: u64,
+    /// Total message words.
+    pub message_words: u64,
+    /// Shared-memory cache hit rate over the window (0 when no accesses).
+    pub cache_hit_rate: f64,
+    /// Mean operation latency in cycles.
+    pub mean_op_latency: f64,
+    /// Activation migrations performed.
+    pub migrations: u64,
+    /// Utilization of the busiest processor (bottleneck indicator).
+    pub max_proc_utilization: f64,
+    /// Full cycle accounting for the window.
+    pub accounting: CycleAccounting,
+    /// Accounting restricted to migration messages + migrated user code
+    /// (regenerates Table 5 when divided by `migrations`).
+    pub migration_accounting: CycleAccounting,
+    /// Message counts by kind.
+    pub message_kinds: HashMap<MessageKind, u64>,
+}
+
+/// The machine + runtime state. Implements [`Simulation`] so a
+/// [`proteus::Engine`] can drive it; most users go through [`Runner`].
+pub struct System {
+    cfg: MachineConfig,
+    cost: CostModel,
+    net: Network,
+    coherence: CoherenceSystem,
+    procs: Vec<Processor<QueuedTask>>,
+    poll_pending: Vec<bool>,
+    replica_at: Vec<bool>,
+    objects: ObjectTable,
+    threads: Vec<ThreadState>,
+    detached: HashMap<ThreadId, DetachedFrame>,
+    rng: SplitMix64,
+    acct: CycleAccounting,
+    migration_acct: CycleAccounting,
+    migration_ctx: bool,
+    migrations: u64,
+    ops_completed: u64,
+    op_latency: Histogram,
+    msg_counts: HashMap<MessageKind, u64>,
+    window_start: Cycles,
+}
+
+impl System {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> System {
+        let n = cfg.processors;
+        assert!(n > 0, "machine needs at least one processor");
+        let mut replica_at = vec![false; n as usize];
+        for p in &cfg.replica_procs {
+            replica_at[p.index()] = true;
+        }
+        System {
+            cost: cfg
+                .cost_override
+                .clone()
+                .unwrap_or_else(|| cfg.scheme.cost_model()),
+            net: Network::new(n, cfg.network.clone()),
+            coherence: CoherenceSystem::new(n, cfg.cache.clone(), cfg.coherence.clone()),
+            procs: (0..n).map(|i| Processor::new(ProcId(i))).collect(),
+            poll_pending: vec![false; n as usize],
+            replica_at,
+            objects: ObjectTable::new(),
+            threads: Vec::new(),
+            detached: HashMap::new(),
+            rng: SplitMix64::new(cfg.seed),
+            acct: CycleAccounting::default(),
+            migration_acct: CycleAccounting::default(),
+            migration_ctx: false,
+            migrations: 0,
+            ops_completed: 0,
+            op_latency: Histogram::new(100, 4096),
+            msg_counts: HashMap::new(),
+            window_start: Cycles::ZERO,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The object table (for application setup and post-run verification).
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+
+    /// Create an object at `home`; `replicated` marks it for software
+    /// replication (effective only when the scheme enables replication).
+    pub fn create_object(
+        &mut self,
+        behavior: Box<dyn Behavior>,
+        home: ProcId,
+        replicated: bool,
+    ) -> Goid {
+        assert!(home.index() < self.procs.len(), "home out of range");
+        let goid = self.objects.create(behavior, home);
+        if replicated {
+            self.objects.set_replicated(goid, true);
+        }
+        goid
+    }
+
+    /// Mutably access a typed object's state outside simulation (setup and
+    /// verification). Panics if the object is of a different type.
+    pub fn with_object_mut<T: 'static, R>(&mut self, goid: Goid, f: impl FnOnce(&mut T) -> R) -> R {
+        let state = self
+            .objects
+            .state_mut::<T>(goid)
+            .expect("object missing or of unexpected type");
+        f(state)
+    }
+
+    /// Mark or unmark an object for software replication.
+    pub fn set_replicated(&mut self, goid: Goid, replicated: bool) {
+        self.objects.set_replicated(goid, replicated);
+    }
+
+    /// Register a thread at `home` whose base activation is `driver`. The
+    /// caller must also schedule its initial [`Event::Wake`] (see
+    /// [`Runner::spawn`]).
+    pub fn add_thread(&mut self, home: ProcId, driver: Box<dyn Frame>) -> ThreadId {
+        assert!(home.index() < self.procs.len(), "home out of range");
+        let tid = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadState {
+            home,
+            stack: vec![driver],
+            status: ThreadStatus::Active,
+            op_started: None,
+        });
+        tid
+    }
+
+    /// Operations completed since the window started.
+    pub fn ops_completed(&self) -> u64 {
+        self.ops_completed
+    }
+
+    /// Activation migrations performed since the window started.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Per-processor utilization stats.
+    pub fn proc_stats(&self, p: ProcId) -> &ProcessorStats {
+        self.procs[p.index()].stats()
+    }
+
+    /// Begin the measurement window at `now`: reset every counter while
+    /// preserving machine state (cache contents, queues, in-flight work).
+    pub fn reset_window(&mut self, now: Cycles) {
+        self.window_start = now;
+        self.net.reset_traffic();
+        self.coherence.reset_stats();
+        for p in &mut self.procs {
+            p.reset_stats();
+        }
+        self.acct = CycleAccounting::default();
+        self.migration_acct = CycleAccounting::default();
+        self.migrations = 0;
+        self.ops_completed = 0;
+        self.op_latency = Histogram::new(100, 4096);
+        self.msg_counts.clear();
+    }
+
+    /// Extract metrics for a window that ended at `now`.
+    pub fn metrics(&self, now: Cycles) -> RunMetrics {
+        let window = now - self.window_start;
+        let traffic = self.net.traffic();
+        let cache = self.coherence.aggregate_cache_stats();
+        let max_util = self
+            .procs
+            .iter()
+            .map(|p| p.utilization(window))
+            .fold(0.0f64, f64::max);
+        RunMetrics {
+            window,
+            ops: self.ops_completed,
+            throughput_per_1000: if window.is_zero() {
+                0.0
+            } else {
+                self.ops_completed as f64 * 1000.0 / window.get() as f64
+            },
+            bandwidth_words_per_10: traffic.words_per_10_cycles(window),
+            load_word_hops_per_10: traffic.word_hops_per_10_cycles(window),
+            messages: traffic.messages,
+            message_words: traffic.words,
+            cache_hit_rate: cache.hit_rate(),
+            mean_op_latency: self.op_latency.mean(),
+            migrations: self.migrations,
+            max_proc_utilization: max_util,
+            accounting: self.acct.clone(),
+            migration_accounting: self.migration_acct.clone(),
+            message_kinds: self.msg_counts.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charging helpers
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, category: &'static str, cycles: Cycles) {
+        self.acct.charge(category, cycles);
+        if self.migration_ctx {
+            self.migration_acct.charge(category, cycles);
+        }
+    }
+
+    fn charge_user(&mut self, cycles: Cycles) {
+        self.charge(cat::USER_CODE, cycles);
+    }
+
+    /// Wire size of a payload in words: general-purpose RPC stubs marshal a
+    /// larger record than the compact generated migration messages (§4.3).
+    fn wire_words(&self, payload: &Payload) -> u64 {
+        let extra = match payload.kind() {
+            MessageKind::RpcRequest | MessageKind::RpcReply => self.cost.rpc_stub_words,
+            _ => 0,
+        };
+        payload.words() + extra
+    }
+
+    /// Charge the sender-side overhead of a message and schedule its
+    /// arrival; returns the processor-busy overhead.
+    fn send_message(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload: Payload,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let words = self.wire_words(&payload);
+        let kind = payload.kind();
+        let was_migration_ctx = self.migration_ctx;
+        // Charges for a migration *message* always count toward Table 5,
+        // wherever they happen.
+        self.migration_ctx = was_migration_ctx || kind == MessageKind::Migration;
+        self.charge(cat::LINKAGE_SEND, self.cost.linkage_send);
+        self.charge(cat::ALLOC_PACKET_SEND, self.cost.alloc_packet_send);
+        self.charge(cat::MARSHAL, self.cost.marshal(words));
+        self.charge(cat::MESSAGE_SEND, self.cost.message_send);
+        let overhead = self.cost.linkage_send
+            + self.cost.alloc_packet_send
+            + self.cost.marshal(words)
+            + self.cost.message_send;
+        let latency = self.net.send(src, dst, words);
+        self.charge(cat::NETWORK_TRANSIT, latency);
+        self.migration_ctx = was_migration_ctx;
+        *self.msg_counts.entry(kind).or_insert(0) += 1;
+        if kind == MessageKind::Migration {
+            self.migrations += 1;
+        }
+        queue.schedule_at(
+            send_time + overhead + latency,
+            Event::Arrive(dst, Message { src, payload }),
+        );
+        overhead
+    }
+
+    /// Charge the receive path of a message; returns the processor-busy
+    /// overhead.
+    fn charge_recv(&mut self, words: u64, kind: MessageKind, short: bool) -> Cycles {
+        let was = self.migration_ctx;
+        self.migration_ctx = was || kind == MessageKind::Migration;
+        self.charge(cat::COPY_PACKET, self.cost.copy_packet);
+        let thread = if short {
+            Cycles::ZERO
+        } else {
+            self.cost.thread_creation
+        };
+        self.charge(cat::THREAD_CREATION, thread);
+        self.charge(cat::LINKAGE_RECV, self.cost.linkage_recv);
+        self.charge(cat::UNMARSHAL, self.cost.unmarshal(words));
+        self.charge(cat::GOID_TRANSLATION, self.cost.goid_translation);
+        self.charge(cat::SCHEDULER, self.cost.scheduler);
+        self.charge(cat::FORWARDING_CHECK, self.cost.forwarding_check);
+        self.charge(cat::ALLOC_PACKET_RECV, self.cost.alloc_packet_recv);
+        self.migration_ctx = was;
+        self.cost.copy_packet
+            + thread
+            + self.cost.linkage_recv
+            + self.cost.unmarshal(words)
+            + self.cost.goid_translation
+            + self.cost.scheduler
+            + self.cost.forwarding_check
+            + self.cost.alloc_packet_recv
+    }
+
+    // ------------------------------------------------------------------
+    // Method execution
+    // ------------------------------------------------------------------
+
+    /// `true` if `proc` can serve `inv` from a local software replica.
+    fn replica_readable(&self, proc: ProcId, inv: &Invoke) -> bool {
+        self.cfg.scheme.replication
+            && inv.read_only
+            && self.replica_at[proc.index()]
+            && self.objects.entry(inv.target).replicated
+            && self.objects.home(inv.target) != proc
+    }
+
+    /// Run a method inline at `proc` under message passing (at the object's
+    /// home, or against a local replica for read-only methods). Returns the
+    /// busy cycles and the results.
+    fn invoke_inline(
+        &mut self,
+        proc: ProcId,
+        inv: &Invoke,
+        logical_now: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> (Cycles, Vec<Word>) {
+        let entry = self.objects.entry(inv.target);
+        let is_home = entry.home == proc;
+        let replicated = entry.replicated;
+        debug_assert!(
+            is_home || self.replica_readable(proc, inv),
+            "invoke_inline on non-local, non-replica object"
+        );
+        let replica_read = !is_home;
+        let mut behavior = self.objects.take_behavior(inv.target);
+        let mut env = MpEnv {
+            user: Cycles::ZERO,
+            replica_read,
+            objects: &mut self.objects,
+            rng: &mut self.rng,
+            data_procs: &self.cfg.data_procs,
+        };
+        let results = behavior.invoke(inv.method, &inv.args, &mut env);
+        let user = env.user;
+        self.objects.put_behavior(inv.target, behavior);
+        self.charge_user(user);
+        let mut busy = user;
+        // A write to a replicated object must update the software replicas.
+        if is_home && !inv.read_only && replicated && self.cfg.scheme.replication {
+            busy += self.broadcast_replica_update(proc, inv.target, logical_now + user, queue);
+        }
+        (busy, results)
+    }
+
+    /// Run a method on the *invoking* processor under cache-coherent shared
+    /// memory: every field access is a metered coherence transaction, and
+    /// the object lock serializes conflicting critical sections.
+    fn invoke_sm(&mut self, proc: ProcId, inv: &Invoke, logical_now: Cycles) -> (Cycles, Vec<Word>) {
+        let entry = self.objects.entry(inv.target);
+        let base = entry.base_addr;
+        let size = entry.size_bytes;
+        let goid = inv.target;
+        let mut behavior = self.objects.take_behavior(goid);
+        let mut env = SmEnv {
+            proc,
+            base,
+            size,
+            goid,
+            logical_start: logical_now,
+            elapsed: Cycles::ZERO,
+            user: Cycles::ZERO,
+            mem_stall: Cycles::ZERO,
+            lock_stall: Cycles::ZERO,
+            objects: &mut self.objects,
+            coherence: &mut self.coherence,
+            net: &mut self.net,
+            rng: &mut self.rng,
+            data_procs: &self.cfg.data_procs,
+        };
+        let results = behavior.invoke(inv.method, &inv.args, &mut env);
+        let (elapsed, user, mem, lock) = (env.elapsed, env.user, env.mem_stall, env.lock_stall);
+        self.objects.put_behavior(goid, behavior);
+        self.charge_user(user);
+        self.charge(cat::MEMORY_STALL, mem);
+        self.charge(cat::LOCK_STALL, lock);
+        (elapsed, results)
+    }
+
+    /// Broadcast a replica update after a write to a replicated object.
+    fn broadcast_replica_update(
+        &mut self,
+        src: ProcId,
+        target: Goid,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let mut busy = Cycles::ZERO;
+        let replicas = self.cfg.replica_procs.clone();
+        for p in replicas {
+            if p == src {
+                continue;
+            }
+            let payload = Payload::ReplicaUpdate {
+                target,
+                words: self.cfg.replica_update_words,
+            };
+            busy += self.send_message(src, p, payload, send_time + busy, queue);
+        }
+        busy
+    }
+
+    // ------------------------------------------------------------------
+    // Operation bookkeeping
+    // ------------------------------------------------------------------
+
+    fn complete_op(&mut self, tid: ThreadId, at: Cycles) {
+        self.ops_completed += 1;
+        if let Some(start) = self.threads[tid.index()].op_started.take() {
+            self.op_latency.record(at - start);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution slices
+    // ------------------------------------------------------------------
+
+    /// Step a thread at its home processor until it blocks, sleeps, yields,
+    /// or finishes. Returns total busy cycles (including `acc` carried in).
+    fn run_thread_slice(
+        &mut self,
+        now: Cycles,
+        proc: ProcId,
+        tid: ThreadId,
+        deliver: Option<(Vec<Word>, bool)>,
+        mut acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let t = tid.index();
+        debug_assert_eq!(self.threads[t].home, proc, "thread stepped off-home");
+        let mut frame = match self.threads[t].stack.pop() {
+            Some(f) => f,
+            None => return acc,
+        };
+        self.threads[t].status = ThreadStatus::Active;
+        if let Some((results, completes_op)) = deliver {
+            if completes_op {
+                self.complete_op(tid, now + acc);
+            }
+            frame.on_result(&results);
+        }
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            assert!(steps < 1_000_000, "frame livelock: {}", frame.label());
+            let ctx = StepCtx {
+                now: now + acc,
+                proc,
+            };
+            match frame.step(&ctx) {
+                StepResult::Compute(c) => {
+                    self.charge_user(c);
+                    acc += c;
+                }
+                StepResult::Call(child) => {
+                    self.charge(cat::LOCAL_LINKAGE, self.cost.local_call);
+                    acc += self.cost.local_call;
+                    if child.is_operation() {
+                        self.threads[t].op_started = Some(now + acc);
+                    }
+                    self.threads[t].stack.push(frame);
+                    frame = child;
+                }
+                StepResult::Sleep(d) => {
+                    if d.is_zero() {
+                        continue;
+                    }
+                    self.threads[t].stack.push(frame);
+                    self.threads[t].status = ThreadStatus::Sleeping;
+                    queue.schedule_at(now + acc + d, Event::Wake(tid));
+                    return acc;
+                }
+                StepResult::Return(vals) => {
+                    if frame.is_operation() {
+                        self.complete_op(tid, now + acc);
+                    }
+                    match self.threads[t].stack.pop() {
+                        Some(mut parent) => {
+                            self.charge(cat::LOCAL_LINKAGE, self.cost.local_call);
+                            acc += self.cost.local_call;
+                            parent.on_result(&vals);
+                            frame = parent;
+                        }
+                        None => {
+                            self.threads[t].status = ThreadStatus::Done;
+                            return acc;
+                        }
+                    }
+                }
+                StepResult::Halt => {
+                    self.threads[t].status = ThreadStatus::Done;
+                    return acc;
+                }
+                StepResult::Invoke(inv) => match self.cfg.scheme.access {
+                    DataAccess::SharedMemory => {
+                        let (lat, results) = self.invoke_sm(proc, &inv, now + acc);
+                        acc += lat;
+                        frame.on_result(&results);
+                        // Yield so lock windows interleave near the correct
+                        // global time (DESIGN.md §6.2).
+                        self.threads[t].stack.push(frame);
+                        self.procs[proc.index()].enqueue(QueuedTask {
+                            recv: RecvCharge::None,
+                            work: Work::Step(tid),
+                        });
+                        return acc;
+                    }
+                    DataAccess::ObjectMigration => {
+                        self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
+                        acc += self.cost.locality_check;
+                        let home = self.objects.home(inv.target);
+                        if home == proc {
+                            if self.objects.entry(inv.target).behavior.is_none() {
+                                // Rehomed to us but still in flight (another
+                                // thread on this processor pulled it): retry
+                                // once it has had time to arrive.
+                                self.threads[t].stack.push(frame);
+                                self.threads[t].status = ThreadStatus::Sleeping;
+                                queue.schedule_at(now + acc + Cycles(200), Event::Wake(tid));
+                                return acc;
+                            }
+                            let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
+                            acc += lat;
+                            frame.on_result(&results);
+                            continue;
+                        }
+                        // Pull the object here (Emerald-style); the frame
+                        // re-issues the same invoke once it is installed.
+                        self.threads[t].status = ThreadStatus::WaitingReply;
+                        self.threads[t].stack.push(frame);
+                        let payload = Payload::ObjectPull {
+                            thread: tid,
+                            reply_to: proc,
+                            target: inv.target,
+                        };
+                        acc += self.send_message(proc, home, payload, now + acc, queue);
+                        return acc;
+                    }
+                    DataAccess::ThreadMigration => {
+                        self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
+                        acc += self.cost.locality_check;
+                        let home = self.objects.home(inv.target);
+                        if home == proc {
+                            let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
+                            acc += lat;
+                            frame.on_result(&results);
+                            continue;
+                        }
+                        // Move the whole thread to the data (§2.3): every
+                        // activation ships; the thread is rehomed on arrival.
+                        self.threads[t].status = ThreadStatus::Moving;
+                        let mut frames = std::mem::take(&mut self.threads[t].stack);
+                        frames.push(frame);
+                        let payload = Payload::ThreadMove {
+                            thread: tid,
+                            frames,
+                            invoke: inv,
+                        };
+                        acc += self.send_message(proc, home, payload, now + acc, queue);
+                        return acc;
+                    }
+                    DataAccess::MessagePassing => {
+                        self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
+                        acc += self.cost.locality_check;
+                        let home = self.objects.home(inv.target);
+                        if home == proc || self.replica_readable(proc, &inv) {
+                            let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
+                            acc += lat;
+                            frame.on_result(&results);
+                            continue;
+                        }
+                        // How much of the stack migrates: the top activation
+                        // (the paper's prototype) or the whole group above
+                        // the thread base (§6 future work).
+                        let depth = match inv.annotation {
+                            Annotation::Migrate => 1,
+                            Annotation::MigrateAll => self.threads[t].stack.len(),
+                            Annotation::Rpc => 0,
+                        };
+                        if self.cfg.scheme.migration
+                            && depth > 0
+                            && !self.threads[t].stack.is_empty()
+                        {
+                            // The activation group leaves home; linkage
+                            // (reply_to) lets its eventual return
+                            // short-circuit back.
+                            self.threads[t].status = ThreadStatus::Detached;
+                            let len = self.threads[t].stack.len();
+                            let keep = (len + 1 - depth.min(len)).min(len);
+                            let mut frames = self.threads[t].stack.split_off(keep);
+                            frames.push(frame);
+                            let payload = Payload::Migration {
+                                thread: tid,
+                                reply_to: proc,
+                                frames,
+                                invoke: inv,
+                            };
+                            acc += self.send_message(proc, home, payload, now + acc, queue);
+                            return acc;
+                        }
+                        self.threads[t].status = ThreadStatus::WaitingReply;
+                        self.threads[t].stack.push(frame);
+                        let payload = Payload::RpcRequest {
+                            thread: tid,
+                            reply_to: proc,
+                            invoke: inv,
+                        };
+                        acc += self.send_message(proc, home, payload, now + acc, queue);
+                        return acc;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Continue a detached (migrated) activation group at `proc`.
+    /// `arriving` carries the linkage + pending invoke when the group has
+    /// just arrived.
+    #[allow(clippy::too_many_arguments)]
+    fn run_detached_slice(
+        &mut self,
+        now: Cycles,
+        proc: ProcId,
+        tid: ThreadId,
+        arriving: Option<ArrivingGroup>,
+        deliver: Option<Vec<Word>>,
+        mut acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let (mut lower, mut frame, reply_to) = match arriving {
+            Some((reply_to, mut frames, inv)) => {
+                // The pending invoke runs here — that is the point of the
+                // migration. User code at this hop counts toward Table 5.
+                debug_assert_eq!(
+                    self.objects.home(inv.target),
+                    proc,
+                    "migration arrived at wrong processor"
+                );
+                let mut frame = frames.pop().expect("migration carries frames");
+                self.migration_ctx = true;
+                let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
+                self.migration_ctx = false;
+                acc += lat;
+                frame.on_result(&results);
+                (frames, frame, reply_to)
+            }
+            None => {
+                let mut d = self
+                    .detached
+                    .remove(&tid)
+                    .expect("detached frame group not found");
+                debug_assert_eq!(d.at, proc, "detached frames resumed off-site");
+                let mut frame = d.stack.pop().expect("detached group non-empty");
+                if let Some(results) = deliver {
+                    frame.on_result(&results);
+                }
+                (d.stack, frame, d.reply_to)
+            }
+        };
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            assert!(steps < 1_000_000, "frame livelock: {}", frame.label());
+            let ctx = StepCtx {
+                now: now + acc,
+                proc,
+            };
+            match frame.step(&ctx) {
+                StepResult::Compute(c) => {
+                    self.charge_user(c);
+                    acc += c;
+                }
+                StepResult::Call(child) => {
+                    // Local call within the migrated group (only possible
+                    // once multiple activations can migrate together).
+                    self.charge(cat::LOCAL_LINKAGE, self.cost.local_call);
+                    acc += self.cost.local_call;
+                    if child.is_operation() {
+                        self.threads[tid.index()].op_started = Some(now + acc);
+                    }
+                    lower.push(frame);
+                    frame = child;
+                }
+                StepResult::Sleep(_) => {
+                    panic!("detached frames cannot sleep (think time runs at the thread's home)")
+                }
+                StepResult::Return(vals) => match lower.pop() {
+                    Some(mut parent) => {
+                        if frame.is_operation() {
+                            self.complete_op(tid, now + acc);
+                        }
+                        self.charge(cat::LOCAL_LINKAGE, self.cost.local_call);
+                        acc += self.cost.local_call;
+                        parent.on_result(&vals);
+                        frame = parent;
+                    }
+                    None => {
+                        // The group's base returned: short-circuit straight
+                        // to the original caller, not through intermediate
+                        // processors (§3.2).
+                        let payload = Payload::OperationReturn {
+                            thread: tid,
+                            completes_op: frame.is_operation(),
+                            results: vals,
+                        };
+                        acc += self.send_message(proc, reply_to, payload, now + acc, queue);
+                        return acc;
+                    }
+                },
+                StepResult::Halt => {
+                    self.threads[tid.index()].status = ThreadStatus::Done;
+                    return acc;
+                }
+                StepResult::Invoke(inv) => {
+                    self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
+                    acc += self.cost.locality_check;
+                    debug_assert_eq!(
+                        self.cfg.scheme.access,
+                        DataAccess::MessagePassing,
+                        "detached frames exist only under message passing"
+                    );
+                    let home = self.objects.home(inv.target);
+                    if home == proc || self.replica_readable(proc, &inv) {
+                        let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
+                        acc += lat;
+                        frame.on_result(&results);
+                        continue;
+                    }
+                    let migrate_again = self.cfg.scheme.migration
+                        && matches!(inv.annotation, Annotation::Migrate | Annotation::MigrateAll);
+                    if migrate_again {
+                        // Re-migrate the whole group, passing the original
+                        // linkage along and leaving nothing behind ("destroy
+                        // the original thread" on this processor). A group
+                        // cannot split further once detached.
+                        let mut frames = std::mem::take(&mut lower);
+                        frames.push(frame);
+                        let payload = Payload::Migration {
+                            thread: tid,
+                            reply_to,
+                            frames,
+                            invoke: inv,
+                        };
+                        acc += self.send_message(proc, home, payload, now + acc, queue);
+                        return acc;
+                    }
+                    // RPC from the current location; the reply comes back
+                    // here, where the group parks.
+                    let mut stack = std::mem::take(&mut lower);
+                    stack.push(frame);
+                    self.detached.insert(
+                        tid,
+                        DetachedFrame {
+                            stack,
+                            at: proc,
+                            reply_to,
+                        },
+                    );
+                    let payload = Payload::RpcRequest {
+                        thread: tid,
+                        reply_to: proc,
+                        invoke: inv,
+                    };
+                    acc += self.send_message(proc, home, payload, now + acc, queue);
+                    return acc;
+                }
+            }
+        }
+    }
+
+    /// Serve an object-migration pull at this processor: hand the object
+    /// over (rehoming it at the requester), forward the pull if the object
+    /// has already moved on, or retry shortly if it is in flight.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_pull(
+        &mut self,
+        now: Cycles,
+        proc: ProcId,
+        thread: ThreadId,
+        reply_to: ProcId,
+        target: Goid,
+        mut acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let home = self.objects.home(target);
+        if home != proc {
+            // The object moved away: forward the pull (forwarding check +
+            // chase message).
+            self.charge(cat::FORWARDING_CHECK, self.cost.forwarding_check);
+            acc += self.cost.forwarding_check;
+            let payload = Payload::ObjectPull {
+                thread,
+                reply_to,
+                target,
+            };
+            acc += self.send_message(proc, home, payload, now + acc, queue);
+            return acc;
+        }
+        if self.objects.entry(target).behavior.is_none() {
+            // In flight towards us: retry after a short delay.
+            self.charge(cat::SCHEDULER, self.cost.scheduler);
+            acc += self.cost.scheduler;
+            queue.schedule_at(
+                now + acc + Cycles(200),
+                Event::Arrive(
+                    proc,
+                    Message {
+                        src: proc,
+                        payload: Payload::ObjectPull {
+                            thread,
+                            reply_to,
+                            target,
+                        },
+                    },
+                ),
+            );
+            return acc;
+        }
+        // Pack the object and rehome it at the requester *now*, so later
+        // pulls chase it to its new location.
+        let behavior = self.objects.take_behavior(target);
+        self.objects.entry_mut(target).home = reply_to;
+        self.charge(cat::GOID_TRANSLATION, self.cost.goid_translation);
+        acc += self.cost.goid_translation;
+        let payload = Payload::ObjectMove {
+            thread,
+            target,
+            behavior,
+        };
+        acc += self.send_message(proc, reply_to, payload, now + acc, queue);
+        acc
+    }
+
+    /// Execute one queued task at `proc`, returning its busy duration.
+    fn execute(
+        &mut self,
+        now: Cycles,
+        proc: ProcId,
+        task: QueuedTask,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let acc = match task.recv {
+            RecvCharge::None => Cycles::ZERO,
+            RecvCharge::Message { words, kind, short } => self.charge_recv(words, kind, short),
+            RecvCharge::Replica => {
+                self.charge(cat::REPLICA_APPLY, self.cost.replica_apply);
+                self.cost.replica_apply
+            }
+        };
+        match task.work {
+            Work::Step(tid) => self.run_thread_slice(now, proc, tid, None, acc, queue),
+            Work::Deliver {
+                thread,
+                results,
+                completes_op,
+            } => self.run_thread_slice(now, proc, thread, Some((results, completes_op)), acc, queue),
+            Work::DeliverDetached { thread, results } => {
+                self.run_detached_slice(now, proc, thread, None, Some(results), acc, queue)
+            }
+            Work::MigrationArrive {
+                thread,
+                reply_to,
+                frames,
+                invoke,
+            } => self.run_detached_slice(
+                now,
+                proc,
+                thread,
+                Some((reply_to, frames, invoke)),
+                None,
+                acc,
+                queue,
+            ),
+            Work::ServePull {
+                thread,
+                reply_to,
+                target,
+            } => self.serve_pull(now, proc, thread, reply_to, target, acc, queue),
+            Work::InstallObject {
+                thread,
+                target,
+                behavior,
+            } => {
+                // The home pointer was flipped when the object was packed;
+                // install the state and let the thread retry its invoke,
+                // which is now local.
+                debug_assert_eq!(self.objects.home(target), proc, "object landed off-home");
+                self.charge(cat::GOID_TRANSLATION, self.cost.goid_translation);
+                let acc = acc + self.cost.goid_translation;
+                self.objects.put_behavior(target, behavior);
+                self.run_thread_slice(now, proc, thread, None, acc, queue)
+            }
+            Work::ThreadArrive {
+                thread,
+                frames,
+                invoke,
+            } => {
+                // Rehome the thread (§2.3: the thread continues where the
+                // data is), run the pending invoke, deliver, continue.
+                let t = thread.index();
+                self.threads[t].home = proc;
+                self.threads[t].stack = frames;
+                self.threads[t].status = ThreadStatus::Active;
+                let (lat, results) = self.invoke_inline(proc, &invoke, now + acc, queue);
+                self.run_thread_slice(now, proc, thread, Some((results, false)), acc + lat, queue)
+            }
+            Work::ServeRpc {
+                thread,
+                reply_to,
+                invoke,
+            } => {
+                // General-purpose stub dispatch: thread set-up/tear-down via
+                // the scheduler plus the second argument copy (§4.3).
+                self.charge(cat::RPC_DISPATCH, self.cost.rpc_dispatch);
+                let acc = acc + self.cost.rpc_dispatch;
+                let (lat, results) = self.invoke_inline(proc, &invoke, now + acc, queue);
+                let mut total = acc + lat;
+                let payload = Payload::RpcReply { thread, results };
+                total += self.send_message(proc, reply_to, payload, now + total, queue);
+                total
+            }
+            Work::ReplicaApply => acc,
+        }
+    }
+
+    fn ensure_poll(&mut self, proc: ProcId, now: Cycles, queue: &mut EventQueue<Event>) {
+        if self.poll_pending[proc.index()] {
+            return;
+        }
+        self.poll_pending[proc.index()] = true;
+        let at = self.procs[proc.index()].busy_until().max(now);
+        queue.schedule_at(at, Event::Poll(proc));
+    }
+}
+
+impl Simulation for System {
+    type Event = Event;
+
+    fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrive(dest, msg) => {
+                let task = match msg.payload {
+                    Payload::RpcRequest {
+                        thread,
+                        reply_to,
+                        invoke,
+                    } => QueuedTask {
+                        recv: RecvCharge::Message {
+                            words: 2 + invoke.request_words() + self.cost.rpc_stub_words,
+                            kind: MessageKind::RpcRequest,
+                            short: invoke.short_method,
+                        },
+                        work: Work::ServeRpc {
+                            thread,
+                            reply_to,
+                            invoke,
+                        },
+                    },
+                    Payload::RpcReply { thread, results } => {
+                        let words = 1 + results.len() as u64 + self.cost.rpc_stub_words;
+                        let detached_here = self
+                            .detached
+                            .get(&thread)
+                            .map(|d| d.at == dest)
+                            .unwrap_or(false);
+                        QueuedTask {
+                            recv: RecvCharge::Message {
+                                words,
+                                kind: MessageKind::RpcReply,
+                                short: true,
+                            },
+                            work: if detached_here {
+                                Work::DeliverDetached { thread, results }
+                            } else {
+                                Work::Deliver {
+                                    thread,
+                                    results,
+                                    completes_op: false,
+                                }
+                            },
+                        }
+                    }
+                    Payload::Migration {
+                        thread,
+                        reply_to,
+                        frames,
+                        invoke,
+                    } => QueuedTask {
+                        recv: RecvCharge::Message {
+                            words: 2 + crate::message::frames_words(&frames)
+                                + invoke.request_words(),
+                            kind: MessageKind::Migration,
+                            short: false,
+                        },
+                        work: Work::MigrationArrive {
+                            thread,
+                            reply_to,
+                            frames,
+                            invoke,
+                        },
+                    },
+                    Payload::ObjectPull {
+                        thread,
+                        reply_to,
+                        target,
+                    } => QueuedTask {
+                        // A self-addressed pull is a local retry (the object
+                        // was in flight): no receive path to pay.
+                        recv: if msg.src == dest {
+                            RecvCharge::None
+                        } else {
+                            RecvCharge::Message {
+                                words: 3,
+                                kind: MessageKind::ObjectPull,
+                                short: true,
+                            }
+                        },
+                        work: Work::ServePull {
+                            thread,
+                            reply_to,
+                            target,
+                        },
+                    },
+                    Payload::ObjectMove {
+                        thread,
+                        target,
+                        behavior,
+                    } => QueuedTask {
+                        recv: RecvCharge::Message {
+                            words: 1 + behavior.size_bytes().div_ceil(8),
+                            kind: MessageKind::ObjectMove,
+                            short: true,
+                        },
+                        work: Work::InstallObject {
+                            thread,
+                            target,
+                            behavior,
+                        },
+                    },
+                    Payload::ThreadMove {
+                        thread,
+                        frames,
+                        invoke,
+                    } => QueuedTask {
+                        recv: RecvCharge::Message {
+                            words: 16 + crate::message::frames_words(&frames)
+                                + invoke.request_words(),
+                            kind: MessageKind::ThreadMove,
+                            short: false,
+                        },
+                        work: Work::ThreadArrive {
+                            thread,
+                            frames,
+                            invoke,
+                        },
+                    },
+                    Payload::OperationReturn {
+                        thread,
+                        completes_op,
+                        results,
+                    } => QueuedTask {
+                        recv: RecvCharge::Message {
+                            words: 1 + results.len() as u64,
+                            kind: MessageKind::OperationReturn,
+                            short: true,
+                        },
+                        work: Work::Deliver {
+                            thread,
+                            results,
+                            completes_op,
+                        },
+                    },
+                    Payload::ReplicaUpdate { .. } => QueuedTask {
+                        recv: RecvCharge::Replica,
+                        work: Work::ReplicaApply,
+                    },
+                };
+                self.procs[dest.index()].enqueue(task);
+                self.ensure_poll(dest, now, queue);
+            }
+            Event::Wake(tid) => {
+                let home = self.threads[tid.index()].home;
+                self.threads[tid.index()].status = ThreadStatus::Active;
+                self.procs[home.index()].enqueue(QueuedTask {
+                    recv: RecvCharge::None,
+                    work: Work::Step(tid),
+                });
+                self.ensure_poll(home, now, queue);
+            }
+            Event::Poll(proc) => {
+                self.poll_pending[proc.index()] = false;
+                if let Some(task) = self.procs[proc.index()].take_ready(now) {
+                    let dur = self.execute(now, proc, task, queue);
+                    self.procs[proc.index()].occupy(now, dur.max(Cycles(1)));
+                }
+                if self.procs[proc.index()].queue_len() > 0 {
+                    self.ensure_poll(proc, now, queue);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Method environments
+// ----------------------------------------------------------------------
+
+/// Environment for message-passing execution (at home or on a replica).
+struct MpEnv<'a> {
+    user: Cycles,
+    replica_read: bool,
+    objects: &'a mut ObjectTable,
+    rng: &'a mut SplitMix64,
+    data_procs: &'a [ProcId],
+}
+
+impl MethodEnv for MpEnv<'_> {
+    fn compute(&mut self, cycles: Cycles) {
+        self.user += cycles;
+    }
+    fn read(&mut self, _offset: u64, _len: u64) {
+        // Local memory at the object's home: covered by the method's
+        // compute() charges.
+    }
+    fn write(&mut self, _offset: u64, _len: u64) {
+        assert!(
+            !self.replica_read,
+            "write through a read-only replica view (method wrongly marked read_only)"
+        );
+    }
+    fn lock(&mut self) {
+        // The home processor serves one activation at a time: mutual
+        // exclusion is structural under message passing.
+    }
+    fn unlock(&mut self) {}
+    fn create(&mut self, behavior: Box<dyn Behavior>, home: Option<ProcId>) -> Goid {
+        assert!(
+            !self.replica_read,
+            "object creation through a read-only replica view"
+        );
+        let home = home.unwrap_or_else(|| {
+            assert!(
+                !self.data_procs.is_empty(),
+                "create(None) requires configured data_procs"
+            );
+            self.data_procs[self.rng.below(self.data_procs.len() as u64) as usize]
+        });
+        self.objects.create(behavior, home)
+    }
+    fn rng(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Environment for shared-memory execution on the invoking processor.
+struct SmEnv<'a> {
+    proc: ProcId,
+    base: u64,
+    size: u64,
+    goid: Goid,
+    logical_start: Cycles,
+    elapsed: Cycles,
+    user: Cycles,
+    mem_stall: Cycles,
+    lock_stall: Cycles,
+    objects: &'a mut ObjectTable,
+    coherence: &'a mut CoherenceSystem,
+    net: &'a mut Network,
+    rng: &'a mut SplitMix64,
+    data_procs: &'a [ProcId],
+}
+
+impl SmEnv<'_> {
+    fn mem(&mut self, offset: u64, len: u64, kind: Access) {
+        debug_assert!(offset + len <= self.size, "field access out of object bounds");
+        let at = self.logical_start + self.elapsed;
+        let out = self
+            .coherence
+            .access_range(self.proc, self.base + offset, len.max(1), kind, self.net, at);
+        self.elapsed += out.latency;
+        self.mem_stall += out.latency;
+    }
+}
+
+impl MethodEnv for SmEnv<'_> {
+    fn compute(&mut self, cycles: Cycles) {
+        self.elapsed += cycles;
+        self.user += cycles;
+    }
+    fn read(&mut self, offset: u64, len: u64) {
+        self.mem(offset, len, Access::Read);
+    }
+    fn write(&mut self, offset: u64, len: u64) {
+        self.mem(offset, len, Access::Write);
+    }
+    fn lock(&mut self) {
+        let t_now = self.logical_start + self.elapsed;
+        let free_at = self.objects.entry(self.goid).lock_free_at;
+        let stalled_here = free_at > t_now;
+        if stalled_here {
+            let stall = free_at - t_now;
+            // Test-and-set spinning: while waiting, this processor re-probes
+            // the lock word with atomic read-modify-writes. Each probe is an
+            // ownership transfer — it books real protocol traffic, occupies
+            // the line (serializing contended handoffs), and steals the line
+            // from the holder so the next critical section starts with a
+            // miss. This is the coherence activity that throttles
+            // write-shared objects in the paper's SM runs. The probes'
+            // latency is subsumed by the stall itself.
+            let costs = self.coherence.costs().clone();
+            let n = ((stall.get() / costs.spin_interval.get().max(1)) + 1)
+                .min(u64::from(costs.max_spin_reads));
+            for i in 0..n {
+                let at = t_now + costs.spin_interval * i;
+                let _ = self
+                    .coherence
+                    .access(self.proc, self.base, Access::Write, self.net, at);
+            }
+            self.elapsed += stall;
+            self.lock_stall += stall;
+        }
+        // Winning test-and-set on the lock word (first word of the object):
+        // a real coherence write, queued behind any spin-read burst.
+        let was_stalled = stalled_here;
+        self.mem(0, 8, Access::Write);
+        if was_stalled {
+            // Spinner interference on the critical section (see
+            // CoherenceCosts::contended_lock_penalty).
+            let penalty = self.coherence.costs().contended_lock_penalty;
+            self.elapsed += penalty;
+            self.lock_stall += penalty;
+        }
+        // Reserve the window; unlock() extends it to the true release time.
+        self.objects.entry_mut(self.goid).lock_free_at = self.logical_start + self.elapsed;
+    }
+    fn unlock(&mut self) {
+        self.mem(0, 8, Access::Write);
+        self.objects.entry_mut(self.goid).lock_free_at = self.logical_start + self.elapsed;
+    }
+    fn create(&mut self, behavior: Box<dyn Behavior>, home: Option<ProcId>) -> Goid {
+        let home = home.unwrap_or_else(|| {
+            assert!(
+                !self.data_procs.is_empty(),
+                "create(None) requires configured data_procs"
+            );
+            self.data_procs[self.rng.below(self.data_procs.len() as u64) as usize]
+        });
+        self.objects.create(behavior, home)
+    }
+    fn rng(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Runner
+// ----------------------------------------------------------------------
+
+/// Convenience wrapper binding a [`System`] to an [`Engine`]: spawn threads,
+/// run a warm-up, measure a window, extract metrics.
+pub struct Runner {
+    /// The machine.
+    pub system: System,
+    engine: Engine<System>,
+}
+
+impl Runner {
+    /// Build a runner for a configuration.
+    pub fn new(cfg: MachineConfig) -> Runner {
+        Runner {
+            system: System::new(cfg),
+            engine: Engine::new(),
+        }
+    }
+
+    /// Spawn a thread at `home` with base activation `driver`, scheduled to
+    /// start at time zero.
+    pub fn spawn(&mut self, home: ProcId, driver: Box<dyn Frame>) -> ThreadId {
+        let tid = self.system.add_thread(home, driver);
+        let now = self.engine.now();
+        self.engine.queue_mut().schedule_at(now, Event::Wake(tid));
+        tid
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.engine.now()
+    }
+
+    /// Run until `horizon` (absolute time) without touching counters.
+    pub fn run_until(&mut self, horizon: Cycles) {
+        self.engine.run_until(&mut self.system, horizon);
+    }
+
+    /// Run a warm-up of `warmup` cycles, then measure a `window`-cycle
+    /// window and return its metrics.
+    pub fn run(&mut self, warmup: Cycles, window: Cycles) -> RunMetrics {
+        let start = self.engine.now();
+        if !warmup.is_zero() {
+            self.engine.run_until(&mut self.system, start + warmup);
+        }
+        self.system.reset_window(start + warmup);
+        let end = start + warmup + window;
+        self.engine.run_until(&mut self.system, end);
+        self.system.metrics(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{StepCtx, StepResult};
+    use crate::types::MethodId;
+
+    /// A cell object: lock, read state, compute, bump, write state, unlock.
+    /// The state spans several cache lines, like a balancer or B-tree node.
+    struct Cell {
+        value: Word,
+        compute: u64,
+    }
+
+    impl Behavior for Cell {
+        fn invoke(&mut self, _m: MethodId, _args: &[Word], env: &mut dyn MethodEnv) -> Vec<Word> {
+            env.lock();
+            env.read(8, 56);
+            env.compute(Cycles(self.compute));
+            self.value += 1;
+            env.write(8, 24);
+            env.unlock();
+            vec![self.value]
+        }
+        fn size_bytes(&self) -> u64 {
+            64
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A read-only probe method on a cell-like object.
+    struct ReadCell {
+        value: Word,
+    }
+
+    impl Behavior for ReadCell {
+        fn invoke(&mut self, m: MethodId, _args: &[Word], env: &mut dyn MethodEnv) -> Vec<Word> {
+            match m {
+                MethodId(0) => {
+                    env.read(8, 8);
+                    env.compute(Cycles(30));
+                    vec![self.value]
+                }
+                _ => {
+                    env.compute(Cycles(30));
+                    self.value += 1;
+                    env.write(8, 8);
+                    vec![self.value]
+                }
+            }
+        }
+        fn size_bytes(&self) -> u64 {
+            16
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// The §2.5 access pattern: `repeats` consecutive accesses to each of
+    /// the targets in order.
+    struct ChainOp {
+        targets: Vec<Goid>,
+        annotation: Annotation,
+        repeats: u32,
+        idx: usize,
+        done_on_current: u32,
+        acc: Word,
+    }
+
+    impl ChainOp {
+        fn new(targets: Vec<Goid>, annotation: Annotation, repeats: u32) -> ChainOp {
+            ChainOp {
+                targets,
+                annotation,
+                repeats,
+                idx: 0,
+                done_on_current: 0,
+                acc: 0,
+            }
+        }
+    }
+
+    impl Frame for ChainOp {
+        fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+            if self.idx >= self.targets.len() {
+                return StepResult::Return(vec![self.acc]);
+            }
+            let target = self.targets[self.idx];
+            let inv = match self.annotation {
+                Annotation::Migrate => Invoke::migrate(target, MethodId(0), vec![]),
+                Annotation::MigrateAll => Invoke::migrate_all(target, MethodId(0), vec![]),
+                Annotation::Rpc => Invoke::rpc(target, MethodId(0), vec![]),
+            };
+            StepResult::Invoke(inv)
+        }
+        fn on_result(&mut self, results: &[Word]) {
+            self.acc += results[0];
+            self.done_on_current += 1;
+            if self.done_on_current >= self.repeats {
+                self.done_on_current = 0;
+                self.idx += 1;
+            }
+        }
+        fn live_words(&self) -> u64 {
+            4 + self.targets.len() as u64
+        }
+        fn is_operation(&self) -> bool {
+            true
+        }
+        fn label(&self) -> &'static str {
+            "chain-op"
+        }
+    }
+
+    /// Driver: think, run a chain op, repeat `ops` times, halt.
+    struct TestDriver {
+        targets: Vec<Goid>,
+        annotation: Annotation,
+        repeats: u32,
+        think: Cycles,
+        ops_remaining: u32,
+        thinking: bool,
+    }
+
+    impl Frame for TestDriver {
+        fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+            if self.ops_remaining == 0 {
+                return StepResult::Halt;
+            }
+            if !self.thinking {
+                self.thinking = true;
+                return StepResult::Sleep(self.think);
+            }
+            self.thinking = false;
+            self.ops_remaining -= 1;
+            StepResult::Call(Box::new(ChainOp::new(
+                self.targets.clone(),
+                self.annotation,
+                self.repeats,
+            )))
+        }
+        fn on_result(&mut self, _results: &[Word]) {}
+        fn live_words(&self) -> u64 {
+            4
+        }
+        fn label(&self) -> &'static str {
+            "test-driver"
+        }
+    }
+
+    fn build(
+        scheme: Scheme,
+        procs: u32,
+        targets_on: &[u32],
+        annotation: Annotation,
+        repeats: u32,
+        ops: u32,
+    ) -> (Runner, Vec<Goid>) {
+        let cfg = MachineConfig::new(procs, scheme);
+        let mut runner = Runner::new(cfg);
+        let targets: Vec<Goid> = targets_on
+            .iter()
+            .map(|&p| {
+                runner
+                    .system
+                    .create_object(Box::new(Cell { value: 0, compute: 100 }), ProcId(p), false)
+            })
+            .collect();
+        runner.spawn(
+            ProcId(0),
+            Box::new(TestDriver {
+                targets: targets.clone(),
+                annotation,
+                repeats,
+                think: Cycles::ZERO,
+                ops_remaining: ops,
+                thinking: false,
+            }),
+        );
+        (runner, targets)
+    }
+
+    #[test]
+    fn local_invoke_sends_no_messages() {
+        let (mut runner, _) = build(Scheme::rpc(), 2, &[0], Annotation::Rpc, 3, 1);
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.messages, 0);
+    }
+
+    #[test]
+    fn rpc_round_trip_counts_messages() {
+        // 1 op, 3 accesses to one remote object: 3 requests + 3 replies.
+        let (mut runner, targets) = build(Scheme::rpc(), 2, &[1], Annotation::Rpc, 3, 1);
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.message_kinds[&MessageKind::RpcRequest], 3);
+        assert_eq!(m.message_kinds[&MessageKind::RpcReply], 3);
+        assert_eq!(m.messages, 6);
+        // The object was actually bumped three times.
+        let cell = runner.system.objects().state::<Cell>(targets[0]).unwrap();
+        assert_eq!(cell.value, 3);
+    }
+
+    #[test]
+    fn migration_makes_repeat_accesses_local() {
+        // 1 op, 3 accesses to one remote object under CM: ONE migration, the
+        // other two accesses are local, one short-circuited return.
+        let (mut runner, targets) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::Migrate,
+            3,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.migrations, 1);
+        assert_eq!(m.message_kinds[&MessageKind::Migration], 1);
+        assert_eq!(m.message_kinds[&MessageKind::OperationReturn], 1);
+        assert_eq!(m.messages, 2);
+        let cell = runner.system.objects().state::<Cell>(targets[0]).unwrap();
+        assert_eq!(cell.value, 3);
+    }
+
+    #[test]
+    fn migration_chain_passes_linkage_and_short_circuits() {
+        // Figure 1's pattern: m=3 items on 3 different processors, n=1: the
+        // frame hops item to item (3 migrations) and returns directly home
+        // (1 message), total 4 — versus 6 for RPC.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            4,
+            &[1, 2, 3],
+            Annotation::Migrate,
+            1,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.migrations, 3);
+        assert_eq!(m.message_kinds[&MessageKind::OperationReturn], 1);
+        assert_eq!(m.messages, 4);
+
+        let (mut runner, _) = build(Scheme::rpc(), 4, &[1, 2, 3], Annotation::Rpc, 1, 1);
+        let r = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(r.messages, 6);
+    }
+
+    #[test]
+    fn cm_scheme_with_rpc_annotation_behaves_like_rpc() {
+        // The annotation is what moves; under the CM scheme an unannotated
+        // call is still RPC.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::Rpc,
+            2,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.message_kinds[&MessageKind::RpcRequest], 2);
+    }
+
+    #[test]
+    fn rpc_scheme_ignores_migrate_annotation() {
+        // Under the RPC scheme the Migrate annotation is inert (performance
+        // portability: same program, different mapping).
+        let (mut runner, _) = build(Scheme::rpc(), 2, &[1], Annotation::Migrate, 2, 1);
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.message_kinds[&MessageKind::RpcRequest], 2);
+    }
+
+    #[test]
+    fn shared_memory_caches_after_first_access() {
+        let (mut runner, targets) = build(Scheme::shared_memory(), 2, &[1], Annotation::Rpc, 5, 1);
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        // No runtime messages at all — only coherence traffic.
+        assert_eq!(m.message_kinds.len(), 0);
+        assert!(m.messages > 0, "coherence protocol messages expected");
+        assert!(m.cache_hit_rate > 0.0, "later accesses should hit");
+        let cell = runner.system.objects().state::<Cell>(targets[0]).unwrap();
+        assert_eq!(cell.value, 5);
+    }
+
+    #[test]
+    fn sm_write_sharing_generates_more_traffic_than_cm() {
+        // Two threads write-sharing one object: the line ping-pongs under
+        // SM; under CM each access is one migration message.
+        let mk = |scheme| {
+            let cfg = MachineConfig::new(3, scheme);
+            let mut runner = Runner::new(cfg);
+            let t = runner.system.create_object(
+                Box::new(Cell { value: 0, compute: 100 }),
+                ProcId(2),
+                false,
+            );
+            for p in 0..2 {
+                runner.spawn(
+                    ProcId(p),
+                    Box::new(TestDriver {
+                        targets: vec![t],
+                        annotation: Annotation::Migrate,
+                        repeats: 1,
+                        think: Cycles::ZERO,
+                        ops_remaining: 50,
+                        thinking: false,
+                    }),
+                );
+            }
+            runner.run(Cycles::ZERO, Cycles(2_000_000))
+        };
+        let sm = mk(Scheme::shared_memory());
+        let cm = mk(Scheme::computation_migration());
+        assert_eq!(sm.ops, 100);
+        assert_eq!(cm.ops, 100);
+        assert!(
+            sm.bandwidth_words_per_10 > cm.bandwidth_words_per_10,
+            "SM {} vs CM {}",
+            sm.bandwidth_words_per_10,
+            cm.bandwidth_words_per_10
+        );
+    }
+
+    #[test]
+    fn sm_lock_contention_accounted() {
+        let cfg = MachineConfig::new(3, Scheme::shared_memory());
+        let mut runner = Runner::new(cfg);
+        let t = runner.system.create_object(
+            Box::new(Cell { value: 0, compute: 500 }),
+            ProcId(2),
+            false,
+        );
+        for p in 0..2 {
+            runner.spawn(
+                ProcId(p),
+                Box::new(TestDriver {
+                    targets: vec![t],
+                    annotation: Annotation::Rpc,
+                    repeats: 1,
+                    think: Cycles::ZERO,
+                    ops_remaining: 100,
+                    thinking: false,
+                }),
+            );
+        }
+        let m = runner.run(Cycles::ZERO, Cycles(2_000_000));
+        assert_eq!(m.ops, 200);
+        assert!(
+            m.accounting.total(cat::LOCK_STALL) > 0,
+            "contending writers must stall on the object lock"
+        );
+    }
+
+    #[test]
+    fn replication_serves_reads_locally() {
+        // Replicated object, read-only invoke from a replica processor: no
+        // messages at all under CM w/repl.
+        let mut cfg = MachineConfig::new(3, Scheme::computation_migration().with_replication());
+        cfg.replica_procs = vec![ProcId(0), ProcId(1)];
+        let mut runner = Runner::new(cfg);
+        let t = runner
+            .system
+            .create_object(Box::new(ReadCell { value: 7 }), ProcId(2), true);
+        struct ReadOp {
+            target: Goid,
+            done: bool,
+        }
+        impl Frame for ReadOp {
+            fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+                if self.done {
+                    return StepResult::Return(vec![]);
+                }
+                self.done = true;
+                StepResult::Invoke(Invoke::migrate(self.target, MethodId(0), vec![]).reading())
+            }
+            fn on_result(&mut self, results: &[Word]) {
+                assert_eq!(results, &[7]);
+            }
+            fn live_words(&self) -> u64 {
+                2
+            }
+            fn is_operation(&self) -> bool {
+                true
+            }
+        }
+        struct OneShot {
+            target: Goid,
+            fired: bool,
+        }
+        impl Frame for OneShot {
+            fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+                if self.fired {
+                    return StepResult::Halt;
+                }
+                self.fired = true;
+                StepResult::Call(Box::new(ReadOp {
+                    target: self.target,
+                    done: false,
+                }))
+            }
+            fn on_result(&mut self, _r: &[Word]) {}
+            fn live_words(&self) -> u64 {
+                2
+            }
+        }
+        runner.spawn(ProcId(0), Box::new(OneShot { target: t, fired: false }));
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.messages, 0, "replica read must stay local");
+    }
+
+    #[test]
+    fn replicated_write_broadcasts_updates() {
+        let mut cfg = MachineConfig::new(4, Scheme::rpc().with_replication());
+        cfg.replica_procs = vec![ProcId(0), ProcId(1), ProcId(2)];
+        let mut runner = Runner::new(cfg);
+        // Replicated object homed at P3; a write from P0 must fan updates
+        // out to the replicas.
+        let t = runner
+            .system
+            .create_object(Box::new(ReadCell { value: 0 }), ProcId(3), true);
+        struct WriteOnce {
+            target: Goid,
+            state: u8,
+        }
+        impl Frame for WriteOnce {
+            fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+                match self.state {
+                    0 => {
+                        self.state = 1;
+                        StepResult::Invoke(Invoke::rpc(self.target, MethodId(1), vec![]))
+                    }
+                    _ => StepResult::Halt,
+                }
+            }
+            fn on_result(&mut self, _r: &[Word]) {}
+            fn live_words(&self) -> u64 {
+                2
+            }
+        }
+        runner.spawn(ProcId(0), Box::new(WriteOnce { target: t, state: 0 }));
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.message_kinds[&MessageKind::ReplicaUpdate], 3);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut runner, _) = build(
+                Scheme::computation_migration(),
+                4,
+                &[1, 2, 3],
+                Annotation::Migrate,
+                2,
+                10,
+            );
+            let m = runner.run(Cycles(10_000), Cycles(500_000));
+            (m.ops, m.messages, m.message_words, m.migrations)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hw_support_improves_cm_throughput() {
+        let go = |scheme| {
+            let (mut runner, _) = build(scheme, 4, &[1, 2, 3], Annotation::Migrate, 1, 1000);
+            runner.run(Cycles(10_000), Cycles(500_000)).throughput_per_1000
+        };
+        let sw = go(Scheme::computation_migration());
+        let hw = go(Scheme::computation_migration().with_hardware());
+        assert!(hw > sw, "hw {hw} should beat sw {sw}");
+        // The paper estimates roughly a 20% improvement.
+        assert!(hw / sw > 1.05 && hw / sw < 1.6, "ratio {}", hw / sw);
+    }
+
+    #[test]
+    fn migration_accounting_sums_to_total_charges() {
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::Migrate,
+            1,
+            20,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(500_000));
+        assert!(m.migrations >= 19, "migrations {}", m.migrations);
+        // Every Table 5 category for migrations is a subset of the global
+        // accounting.
+        for (k, v) in m.migration_accounting.totals() {
+            assert!(
+                m.accounting.total(k) >= v,
+                "category {k}: migration {v} > total {}",
+                m.accounting.total(k)
+            );
+        }
+        // Mean migration overhead lands in the paper's ballpark (~651
+        // cycles total with ~150 user code).
+        let per = m.migration_accounting.grand_total() as f64 / m.migrations as f64;
+        assert!((450.0..900.0).contains(&per), "per-migration cycles {per}");
+    }
+
+    #[test]
+    fn think_time_reduces_throughput() {
+        let go = |think: u64| {
+            let cfg = MachineConfig::new(2, Scheme::rpc());
+            let mut runner = Runner::new(cfg);
+            let t = runner.system.create_object(
+                Box::new(Cell { value: 0, compute: 100 }),
+                ProcId(1),
+                false,
+            );
+            runner.spawn(
+                ProcId(0),
+                Box::new(TestDriver {
+                    targets: vec![t],
+                    annotation: Annotation::Rpc,
+                    repeats: 1,
+                    think: Cycles(think),
+                    ops_remaining: u32::MAX,
+                    thinking: false,
+                }),
+            );
+            runner.run(Cycles(10_000), Cycles(500_000)).throughput_per_1000
+        };
+        let fast = go(0);
+        let slow = go(10_000);
+        assert!(fast > 2.0 * slow, "think time must throttle: {fast} vs {slow}");
+    }
+
+    // ------------------------------------------------------------------
+    // Extension mechanisms: object migration, thread migration, and
+    // multiple-activation migration (DESIGN.md §7)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn object_migration_pulls_object_and_goes_local() {
+        // 3 accesses to one remote object under OM: one pull + one move,
+        // then everything is local. The object's home follows the thread.
+        let (mut runner, targets) = build(
+            Scheme::object_migration(),
+            2,
+            &[1],
+            Annotation::Rpc,
+            3,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.message_kinds[&MessageKind::ObjectPull], 1);
+        assert_eq!(m.message_kinds[&MessageKind::ObjectMove], 1);
+        assert_eq!(m.messages, 2);
+        assert_eq!(runner.system.objects().home(targets[0]), ProcId(0));
+        let cell = runner.system.objects().state::<Cell>(targets[0]).unwrap();
+        assert_eq!(cell.value, 3, "all three accesses applied after the pull");
+    }
+
+    #[test]
+    fn object_migration_ping_pongs_between_writers() {
+        // Two threads on different processors taking turns on the same
+        // object (think time forces interleaving): it bounces back and
+        // forth, everyone completes, nothing is lost.
+        let cfg = MachineConfig::new(3, Scheme::object_migration());
+        let mut runner = Runner::new(cfg);
+        let t = runner.system.create_object(
+            Box::new(Cell { value: 0, compute: 100 }),
+            ProcId(2),
+            false,
+        );
+        for p in 0..2 {
+            runner.spawn(
+                ProcId(p),
+                Box::new(TestDriver {
+                    targets: vec![t],
+                    annotation: Annotation::Rpc,
+                    repeats: 1,
+                    think: Cycles(2_000),
+                    ops_remaining: 30,
+                    thinking: false,
+                }),
+            );
+        }
+        let m = runner.run(Cycles::ZERO, Cycles(5_000_000));
+        assert_eq!(m.ops, 60);
+        let moves = m.message_kinds[&MessageKind::ObjectMove];
+        assert!(moves >= 20, "object must ping-pong: {moves} moves");
+        // Pulls that arrive at a stale home are forwarded after the object
+        // moved on.
+        assert!(
+            m.message_kinds[&MessageKind::ObjectPull] >= moves,
+            "pulls chase the object"
+        );
+        let cell = runner.system.objects().state::<Cell>(t).unwrap();
+        assert_eq!(cell.value, 60, "no lost updates while bouncing");
+    }
+
+    #[test]
+    fn thread_migration_rehomes_the_whole_thread() {
+        // A chain over three remote objects: the thread moves to each in
+        // turn and STAYS; there is no return message at all.
+        let (mut runner, _) = build(
+            Scheme::thread_migration(),
+            4,
+            &[1, 2, 3],
+            Annotation::Rpc,
+            1,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.message_kinds[&MessageKind::ThreadMove], 3);
+        assert_eq!(m.messages, 3, "no replies, no returns: the thread stays");
+        // Thread moves cost more words than activation migrations would:
+        // the whole stack + control block ships each hop.
+        assert!(m.message_words > 3 * 20);
+    }
+
+    #[test]
+    fn thread_migration_repeat_ops_start_from_last_home() {
+        // After an op ends at the data, the next op starts there: a second
+        // identical op is fully local (locality of the coarsest kind).
+        let (mut runner, _) = build(
+            Scheme::thread_migration(),
+            2,
+            &[1],
+            Annotation::Rpc,
+            2,
+            3,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 3);
+        // Only the very first access moves the thread; the rest are local.
+        assert_eq!(m.message_kinds[&MessageKind::ThreadMove], 1);
+        assert_eq!(m.messages, 1);
+    }
+
+    /// A parent frame that Calls a child while migrated: exercises
+    /// multiple-activation migration (§6 future work).
+    struct GroupParent {
+        targets: Vec<Goid>,
+        phase: u8,
+        total: Word,
+    }
+
+    impl Frame for GroupParent {
+        fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+            match self.phase {
+                0 => {
+                    // Move the whole group (just this frame so far) to the
+                    // first target.
+                    self.phase = 1;
+                    StepResult::Invoke(Invoke::migrate_all(
+                        self.targets[0],
+                        MethodId(0),
+                        vec![],
+                    ))
+                }
+                1 => {
+                    // While migrated: call a child that works on the second
+                    // target (local call within the detached group).
+                    self.phase = 2;
+                    StepResult::Call(Box::new(GroupChild {
+                        target: self.targets[1],
+                        done: false,
+                    }))
+                }
+                _ => StepResult::Return(vec![self.total]),
+            }
+        }
+        fn on_result(&mut self, results: &[Word]) {
+            self.total += results[0];
+        }
+        fn live_words(&self) -> u64 {
+            6
+        }
+        fn is_operation(&self) -> bool {
+            true
+        }
+        fn label(&self) -> &'static str {
+            "group-parent"
+        }
+    }
+
+    struct GroupChild {
+        target: Goid,
+        done: bool,
+    }
+
+    impl Frame for GroupChild {
+        fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+            if self.done {
+                return StepResult::Return(vec![100]);
+            }
+            self.done = true;
+            StepResult::Invoke(Invoke::migrate_all(self.target, MethodId(0), vec![]))
+        }
+        fn on_result(&mut self, _results: &[Word]) {}
+        fn live_words(&self) -> u64 {
+            3
+        }
+        fn label(&self) -> &'static str {
+            "group-child"
+        }
+    }
+
+    struct GroupDriver {
+        targets: Vec<Goid>,
+        fired: bool,
+        result: Option<Word>,
+    }
+
+    impl Frame for GroupDriver {
+        fn step(&mut self, _ctx: &StepCtx) -> StepResult {
+            if self.fired {
+                return StepResult::Halt;
+            }
+            self.fired = true;
+            StepResult::Call(Box::new(GroupParent {
+                targets: self.targets.clone(),
+                phase: 0,
+                total: 0,
+            }))
+        }
+        fn on_result(&mut self, results: &[Word]) {
+            self.result = Some(results[0]);
+        }
+        fn live_words(&self) -> u64 {
+            2
+        }
+    }
+
+    #[test]
+    fn multiple_activation_migration_moves_the_group() {
+        // Parent migrates (migrate_all), then Calls a child while detached;
+        // the child re-migrates THE GROUP to a second processor; both
+        // frames travel together and the final return short-circuits home.
+        let cfg = MachineConfig::new(3, Scheme::computation_migration());
+        let mut runner = Runner::new(cfg);
+        let a = runner.system.create_object(
+            Box::new(Cell { value: 0, compute: 80 }),
+            ProcId(1),
+            false,
+        );
+        let b = runner.system.create_object(
+            Box::new(Cell { value: 0, compute: 80 }),
+            ProcId(2),
+            false,
+        );
+        runner.spawn(
+            ProcId(0),
+            Box::new(GroupDriver {
+                targets: vec![a, b],
+                fired: false,
+                result: None,
+            }),
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(2_000_000));
+        assert_eq!(m.ops, 1, "the operation completed");
+        // Two migrations (P0->P1 with one frame, P1->P2 with two frames) and
+        // one short-circuited return from P2.
+        assert_eq!(m.message_kinds[&MessageKind::Migration], 2);
+        assert_eq!(m.message_kinds[&MessageKind::OperationReturn], 1);
+        assert_eq!(m.messages, 3);
+        // Both objects were touched exactly once each.
+        assert_eq!(runner.system.objects().state::<Cell>(a).unwrap().value, 1);
+        assert_eq!(runner.system.objects().state::<Cell>(b).unwrap().value, 1);
+    }
+
+    #[test]
+    fn migrate_all_from_home_matches_single_when_stack_is_shallow() {
+        // With a one-deep operation stack, MigrateAll degenerates to the
+        // prototype's single-activation migration.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::MigrateAll,
+            2,
+            1,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.ops, 1);
+        assert_eq!(m.message_kinds[&MessageKind::Migration], 1);
+        assert_eq!(m.message_kinds[&MessageKind::OperationReturn], 1);
+    }
+
+    #[test]
+    fn ops_counted_only_in_window() {
+        let (mut runner, _) = build(Scheme::rpc(), 2, &[1], Annotation::Rpc, 1, 1000);
+        let m = runner.run(Cycles(100_000), Cycles(100_000));
+        // Warm-up ops are excluded; the window still sees steady progress.
+        assert!(m.ops > 0);
+        let expected = m.throughput_per_1000 * 100_000.0 / 1000.0;
+        assert!((m.ops as f64 - expected).abs() < 1.0);
+    }
+}

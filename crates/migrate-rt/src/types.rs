@@ -1,0 +1,71 @@
+//! Basic runtime identifiers and the machine word.
+
+use core::fmt;
+
+/// A machine word: the unit of marshalling. Arguments, results, and live
+/// frame variables are all measured and shipped in words.
+pub type Word = u64;
+
+/// Global object identifier (the paper's GOID). Translation from a GOID to a
+/// local pointer costs cycles in software (Table 5) and is free with
+/// J-Machine-style hardware support.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Goid(pub u64);
+
+impl fmt::Debug for Goid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for Goid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a simulated lightweight thread.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Raw index into the thread table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Method selector on an object. Apps define their own method numbering; the
+/// runtime only routes it.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(pub u32);
+
+impl fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Goid(3)), "g3");
+        assert_eq!(format!("{:?}", ThreadId(2)), "t2");
+        assert_eq!(format!("{:?}", MethodId(1)), "m1");
+    }
+
+    #[test]
+    fn thread_index() {
+        assert_eq!(ThreadId(9).index(), 9);
+    }
+}

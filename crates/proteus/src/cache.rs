@@ -1,0 +1,310 @@
+//! Per-processor shared-memory cache.
+//!
+//! The paper's machine gives each processor a 64 KB shared-memory cache with
+//! 16-byte lines (§4). We model a set-associative cache with LRU replacement
+//! and MSI line states; the directory protocol lives in [`crate::coherence`].
+
+use crate::stats::CacheStats;
+
+/// Coherence state of a cached line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Read-only copy; other caches may also hold it.
+    Shared,
+    /// Writable, exclusive, possibly dirty copy.
+    Modified,
+}
+
+/// Cache geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    /// The paper's geometry: 64 KB, 16-byte lines; 4-way is a conventional
+    /// choice the paper does not specify.
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 16,
+            ways: 4,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        let lines = self.size_bytes / self.line_bytes;
+        lines / self.ways as u64
+    }
+
+    /// The line-granular address (address with offset bits dropped).
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Words (8 bytes) per line, for traffic accounting of line transfers.
+    pub fn words_per_line(&self) -> u64 {
+        (self.line_bytes / 8).max(1)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Way {
+    line: u64,
+    state: LineState,
+    lru: u64,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The line-granular address evicted.
+    pub line: u64,
+    /// Its state at eviction (Modified lines need a writeback).
+    pub state: LineState,
+}
+
+/// One processor's cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets() as usize;
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            sets: vec![Vec::new(); sets],
+            config,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// The state of `line` if present.
+    pub fn probe(&self, line: u64) -> Option<LineState> {
+        let set = &self.sets[self.set_index(line)];
+        set.iter().find(|w| w.line == line).map(|w| w.state)
+    }
+
+    /// Record a hit on `line`, refreshing LRU. The caller must have probed.
+    pub fn touch(&mut self, line: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
+            w.lru = tick;
+            self.stats.hits += 1;
+        }
+    }
+
+    /// Insert (or upgrade) `line` in `state`, returning any eviction needed
+    /// to make room. Counts a miss.
+    pub fn fill(&mut self, line: u64, state: LineState) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        self.stats.misses += 1;
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            // Upgrade in place (e.g. Shared -> Modified).
+            w.state = state;
+            w.lru = tick;
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let w = set.swap_remove(victim);
+            if w.state == LineState::Modified {
+                self.stats.writebacks += 1;
+            }
+            Some(Evicted {
+                line: w.line,
+                state: w.state,
+            })
+        } else {
+            None
+        };
+        set.push(Way {
+            line,
+            state,
+            lru: tick,
+        });
+        evicted
+    }
+
+    /// Change the state of a resident line (e.g. Modified -> Shared on a
+    /// remote read). No-op if the line is absent.
+    pub fn set_state(&mut self, line: u64, state: LineState) {
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
+            w.state = state;
+        }
+    }
+
+    /// Drop `line` (remote invalidation). Returns its state if it was
+    /// resident, so the caller can account a writeback for Modified lines.
+    pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let w = set.swap_remove(pos);
+            self.stats.invalidations_received += 1;
+            if w.state == LineState::Modified {
+                self.stats.writebacks += 1;
+            }
+            Some(w.state)
+        } else {
+            None
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset counters (warm-up exclusion); contents stay.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of resident lines (for tests and invariant checks).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways of 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let c = CacheConfig::default();
+        assert_eq!(c.size_bytes, 65536);
+        assert_eq!(c.line_bytes, 16);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.words_per_line(), 2);
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.probe(100), None);
+        assert_eq!(c.fill(100, LineState::Shared), None);
+        assert_eq!(c.probe(100), Some(LineState::Shared));
+        c.touch(100);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, LineState::Shared);
+        c.fill(4, LineState::Shared);
+        c.touch(0); // 4 is now LRU
+        let ev = c.fill(8, LineState::Shared).expect("eviction");
+        assert_eq!(ev.line, 4);
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+        assert_eq!(c.probe(8), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn modified_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.fill(0, LineState::Modified);
+        c.fill(4, LineState::Shared);
+        let ev = c.fill(8, LineState::Shared).expect("eviction");
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn fill_upgrades_in_place() {
+        let mut c = tiny();
+        c.fill(0, LineState::Shared);
+        assert_eq!(c.fill(0, LineState::Modified), None);
+        assert_eq!(c.probe(0), Some(LineState::Modified));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_state() {
+        let mut c = tiny();
+        c.fill(0, LineState::Modified);
+        assert_eq!(c.invalidate(0), Some(LineState::Modified));
+        assert_eq!(c.probe(0), None);
+        assert_eq!(c.stats().invalidations_received, 1);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn set_state_downgrades() {
+        let mut c = tiny();
+        c.fill(0, LineState::Modified);
+        c.set_state(0, LineState::Shared);
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.fill(line, LineState::Shared);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        for line in 0..4 {
+            assert!(c.probe(line).is_some());
+        }
+    }
+
+    #[test]
+    fn capacity_bounded_by_geometry() {
+        let mut c = tiny();
+        for line in 0..100 {
+            c.fill(line, LineState::Shared);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! Generic discrete-event simulation driver.
+
+use crate::event::EventQueue;
+use crate::time::Cycles;
+
+/// A simulation: state plus an event handler. The engine owns the clock and
+/// the queue; the handler schedules follow-on events.
+pub trait Simulation {
+    /// The event alphabet of this simulation.
+    type Event;
+
+    /// Handle one event at time `now`, scheduling any follow-on events.
+    fn handle(&mut self, now: Cycles, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a run stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events remain: the simulation quiesced.
+    Quiescent,
+    /// The time horizon was reached (next event lies beyond it).
+    Horizon,
+    /// The safety event-count limit fired (likely a livelock in the model).
+    EventLimit,
+}
+
+/// Outcome of a run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Simulated time when it stopped.
+    pub ended_at: Cycles,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// The event-loop driver.
+pub struct Engine<S: Simulation> {
+    queue: EventQueue<S::Event>,
+    /// Safety valve: maximum events per `run_until` call.
+    pub event_limit: u64,
+}
+
+impl<S: Simulation> Default for Engine<S> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<S: Simulation> Engine<S> {
+    /// A fresh engine at time zero.
+    pub fn new() -> Engine<S> {
+        Engine {
+            queue: EventQueue::new(),
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// The event queue, for seeding initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<S::Event> {
+        &mut self.queue
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Run until the queue empties, the time `horizon` is passed, or the
+    /// event limit trips. Events stamped exactly at the horizon still run.
+    pub fn run_until(&mut self, sim: &mut S, horizon: Cycles) -> RunOutcome {
+        let mut events = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    return RunOutcome {
+                        reason: StopReason::Quiescent,
+                        ended_at: self.queue.now(),
+                        events,
+                    }
+                }
+                Some(t) if t > horizon => {
+                    self.queue.advance_to(horizon);
+                    return RunOutcome {
+                        reason: StopReason::Horizon,
+                        ended_at: horizon,
+                        events,
+                    }
+                }
+                Some(_) => {}
+            }
+            if events >= self.event_limit {
+                return RunOutcome {
+                    reason: StopReason::EventLimit,
+                    ended_at: self.queue.now(),
+                    events,
+                };
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            sim.handle(now, ev, &mut self.queue);
+            events += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong simulation: each event schedules the next until a cap.
+    struct PingPong {
+        handled: Vec<(u64, u32)>,
+        cap: u32,
+    }
+
+    impl Simulation for PingPong {
+        type Event = u32;
+        fn handle(&mut self, now: Cycles, ev: u32, queue: &mut EventQueue<u32>) {
+            self.handled.push((now.get(), ev));
+            if ev < self.cap {
+                queue.schedule_after(Cycles(10), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut sim = PingPong {
+            handled: vec![],
+            cap: 3,
+        };
+        let mut eng = Engine::new();
+        eng.queue_mut().schedule_at(Cycles(5), 0);
+        let out = eng.run_until(&mut sim, Cycles(1_000));
+        assert_eq!(out.reason, StopReason::Quiescent);
+        assert_eq!(out.events, 4);
+        assert_eq!(sim.handled, vec![(5, 0), (15, 1), (25, 2), (35, 3)]);
+    }
+
+    #[test]
+    fn horizon_stops_before_later_events() {
+        let mut sim = PingPong {
+            handled: vec![],
+            cap: 1_000,
+        };
+        let mut eng = Engine::new();
+        eng.queue_mut().schedule_at(Cycles(0), 0);
+        let out = eng.run_until(&mut sim, Cycles(95));
+        assert_eq!(out.reason, StopReason::Horizon);
+        assert_eq!(out.ended_at, Cycles(95));
+        assert_eq!(sim.handled.len(), 10); // events at 0,10,...,90
+    }
+
+    #[test]
+    fn event_at_horizon_still_runs() {
+        let mut sim = PingPong {
+            handled: vec![],
+            cap: 0,
+        };
+        let mut eng = Engine::new();
+        eng.queue_mut().schedule_at(Cycles(100), 0);
+        let out = eng.run_until(&mut sim, Cycles(100));
+        assert_eq!(out.reason, StopReason::Quiescent);
+        assert_eq!(sim.handled, vec![(100, 0)]);
+    }
+
+    #[test]
+    fn event_limit_guards_livelock() {
+        let mut sim = PingPong {
+            handled: vec![],
+            cap: u32::MAX,
+        };
+        let mut eng = Engine::new();
+        eng.event_limit = 50;
+        eng.queue_mut().schedule_at(Cycles(0), 0);
+        let out = eng.run_until(&mut sim, Cycles::MAX);
+        assert_eq!(out.reason, StopReason::EventLimit);
+        assert_eq!(out.events, 50);
+    }
+
+    #[test]
+    fn resume_after_horizon_continues() {
+        let mut sim = PingPong {
+            handled: vec![],
+            cap: 5,
+        };
+        let mut eng = Engine::new();
+        eng.queue_mut().schedule_at(Cycles(0), 0);
+        eng.run_until(&mut sim, Cycles(25));
+        assert_eq!(sim.handled.len(), 3);
+        let out = eng.run_until(&mut sim, Cycles(1_000));
+        assert_eq!(out.reason, StopReason::Quiescent);
+        assert_eq!(sim.handled.len(), 6);
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence-number)`: two events scheduled for
+//! the same cycle pop in the order they were scheduled. This makes entire
+//! simulations bit-for-bit reproducible, which the experiment harness and the
+//! property tests rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+struct Scheduled<E> {
+    at: Cycles,
+    seq: u64,
+    event: E,
+}
+
+// Manual impls: ordering must ignore the payload (which need not be `Ord`),
+// and the heap is a max-heap so we invert the comparison to pop earliest
+// first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the queue
+    /// clamps to `now` so time never runs backwards, and debug builds assert.
+    pub fn schedule_at(&mut self, at: Cycles, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: Cycles, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Advance the clock to `t` without processing events (used when a run
+    /// stops at a time horizon: the simulation's notion of "now" is the
+    /// horizon, not the last event). Must not skip past pending events.
+    pub fn advance_to(&mut self, t: Cycles) {
+        debug_assert!(t >= self.now, "clock cannot run backwards");
+        if let Some(next) = self.peek_time() {
+            debug_assert!(t <= next, "advance_to would skip pending events");
+        }
+        self.now = self.now.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(30), "c");
+        q.schedule_at(Cycles(10), "a");
+        q.schedule_at(Cycles(20), "b");
+        assert_eq!(q.pop(), Some((Cycles(10), "a")));
+        assert_eq!(q.pop(), Some((Cycles(20), "b")));
+        assert_eq!(q.pop(), Some((Cycles(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Cycles(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(42), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles(42));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(10), "first");
+        q.pop();
+        q.schedule_after(Cycles(5), "second");
+        assert_eq!(q.pop(), Some((Cycles(15), "second")));
+    }
+
+    #[test]
+    fn peek_does_not_advance_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(7), ());
+        assert_eq!(q.peek_time(), Some(Cycles(7)));
+        assert_eq!(q.now(), Cycles::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_asserts_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(10), ());
+        q.pop();
+        q.schedule_at(Cycles(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(1), 1u32);
+        q.schedule_at(Cycles(3), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule_at(Cycles(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

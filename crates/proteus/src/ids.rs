@@ -1,0 +1,65 @@
+//! Typed identifiers for simulated hardware resources.
+
+use core::fmt;
+
+/// Identifier of a simulated processor (node) in the machine.
+///
+/// Processors are numbered densely from zero; the number doubles as the
+/// row-major index into the mesh topology.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcId {
+    #[inline]
+    fn from(v: u32) -> ProcId {
+        ProcId(v)
+    }
+}
+
+impl From<usize> for ProcId {
+    #[inline]
+    fn from(v: usize) -> ProcId {
+        ProcId(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ProcId(7).index(), 7);
+        assert_eq!(ProcId::from(7usize), ProcId(7));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(ProcId(1) < ProcId(2));
+    }
+}

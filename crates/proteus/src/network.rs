@@ -1,0 +1,176 @@
+//! Interconnection network model: latency and bandwidth accounting.
+//!
+//! Latency of a message is `launch + per_hop × hops(src, dst)`. The constants
+//! default so that a typical cross-machine message on the paper's 24–88
+//! processor meshes costs about the 17 cycles of "network transit" reported
+//! in Table 5. Bandwidth is accounted in word-hops (see [`TrafficStats`]).
+
+use crate::ids::ProcId;
+use crate::stats::TrafficStats;
+use crate::time::Cycles;
+use crate::topology::Mesh;
+
+/// Tunable network parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Fixed cost to launch a message onto the wire, in cycles.
+    pub launch: Cycles,
+    /// Per-hop propagation cost, in cycles.
+    pub per_hop: Cycles,
+    /// Words of header prepended to every message payload.
+    pub header_words: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // launch 10 + ~5-7 mean hops × 1 ≈ the paper's 17-cycle transit.
+        NetworkConfig {
+            launch: Cycles(10),
+            per_hop: Cycles(1),
+            header_words: 2,
+        }
+    }
+}
+
+/// The machine interconnect: topology + cost model + traffic accounting.
+#[derive(Clone, Debug)]
+pub struct Network {
+    mesh: Mesh,
+    config: NetworkConfig,
+    traffic: TrafficStats,
+}
+
+impl Network {
+    /// A network over the most-square mesh for `processors` nodes.
+    pub fn new(processors: u32, config: NetworkConfig) -> Network {
+        Network {
+            mesh: Mesh::for_processors(processors),
+            config,
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Hop count between two processors.
+    pub fn hops(&self, src: ProcId, dst: ProcId) -> u32 {
+        self.mesh.hops(src, dst)
+    }
+
+    /// Transit latency for a message from `src` to `dst` (independent of
+    /// size: the paper's model charges marshalling separately and treats the
+    /// network as pipelined).
+    pub fn latency(&self, src: ProcId, dst: ProcId) -> Cycles {
+        if src == dst {
+            return Cycles::ZERO;
+        }
+        self.config.launch + self.config.per_hop * u64::from(self.hops(src, dst))
+    }
+
+    /// Send a message of `payload_words` words: books traffic (header +
+    /// payload, times hops) and returns the transit latency the caller should
+    /// use to schedule the arrival event.
+    ///
+    /// A message to self costs nothing and takes no time — the runtime checks
+    /// locality before invoking any remote mechanism, matching the paper's
+    /// "migration is conditional on the location of the computation".
+    pub fn send(&mut self, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
+        if src == dst {
+            return Cycles::ZERO;
+        }
+        let words = self.config.header_words + payload_words;
+        let hops = self.hops(src, dst);
+        self.traffic.record(words, hops);
+        self.latency(src, dst)
+    }
+
+    /// Traffic accumulated so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Reset traffic counters (used to exclude warm-up phases from the
+    /// measured window, as the experiments do).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(25, NetworkConfig::default())
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let n = net();
+        // P0=(0,0), P24=(4,4) on a 5x5 mesh: 8 hops.
+        assert_eq!(n.latency(ProcId(0), ProcId(24)), Cycles(10 + 8));
+        assert_eq!(n.latency(ProcId(0), ProcId(1)), Cycles(11));
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut n = net();
+        assert_eq!(n.send(ProcId(3), ProcId(3), 100), Cycles::ZERO);
+        assert_eq!(n.traffic().messages, 0);
+    }
+
+    #[test]
+    fn send_books_header_plus_payload_times_hops() {
+        let mut n = net();
+        let lat = n.send(ProcId(0), ProcId(2), 6); // 2 hops
+        assert_eq!(lat, Cycles(12));
+        assert_eq!(n.traffic().messages, 1);
+        assert_eq!(n.traffic().words, 8);
+        assert_eq!(n.traffic().word_hops, 16);
+    }
+
+    #[test]
+    fn reset_traffic_clears_counters() {
+        let mut n = net();
+        n.send(ProcId(0), ProcId(1), 4);
+        n.reset_traffic();
+        assert_eq!(n.traffic(), &TrafficStats::default());
+    }
+
+    #[test]
+    fn latency_symmetric() {
+        let n = net();
+        for a in 0..25u32 {
+            for b in 0..25u32 {
+                assert_eq!(n.latency(ProcId(a), ProcId(b)), n.latency(ProcId(b), ProcId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_transit_near_paper_constant() {
+        // On the 88-processor machine of the counting-network experiments the
+        // mean message transit should land near Table 5's 17 cycles.
+        let n = Network::new(88, NetworkConfig::default());
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for a in 0..88u32 {
+            for b in 0..88u32 {
+                if a != b {
+                    total += n.latency(ProcId(a), ProcId(b)).get();
+                    count += 1;
+                }
+            }
+        }
+        let mean = total as f64 / count as f64;
+        assert!((14.0..20.0).contains(&mean), "mean transit {mean}");
+    }
+}

@@ -1,0 +1,311 @@
+//! Simulation statistics: network traffic, caches, and cycle accounting.
+
+use std::collections::BTreeMap;
+
+use crate::time::Cycles;
+
+/// Aggregate network traffic counters.
+///
+/// `words` is the unit behind the paper's "words sent / 10 cycles" bandwidth
+/// figures; `word_hops` additionally weights each word by the distance it
+/// travels (a W-word message over h hops adds W·h), which is the stricter
+/// congestion measure (see DESIGN.md §6.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages injected into the network.
+    pub messages: u64,
+    /// Total words across all messages (header + payload).
+    pub words: u64,
+    /// Words × hops: network load.
+    pub word_hops: u64,
+}
+
+impl TrafficStats {
+    /// Record one message of `words` total size travelling `hops` hops.
+    pub fn record(&mut self, words: u64, hops: u32) {
+        self.messages += 1;
+        self.words += words;
+        self.word_hops += words * u64::from(hops);
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.words += other.words;
+        self.word_hops += other.word_hops;
+    }
+
+    /// Network bandwidth in the paper's unit: words sent per 10 cycles.
+    pub fn words_per_10_cycles(&self, elapsed: Cycles) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.words as f64 * 10.0 / elapsed.get() as f64
+    }
+
+    /// Network *load* per 10 cycles, weighting each word by the hops it
+    /// travels (a stricter congestion measure than plain words sent).
+    pub fn word_hops_per_10_cycles(&self, elapsed: Cycles) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.word_hops as f64 * 10.0 / elapsed.get() as f64
+    }
+}
+
+/// Cache hit/miss counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses satisfied by the local cache.
+    pub hits: u64,
+    /// Accesses requiring a coherence transaction.
+    pub misses: u64,
+    /// Lines invalidated by remote writers.
+    pub invalidations_received: u64,
+    /// Dirty lines written back on eviction or downgrade.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; zero when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations_received += other.invalidations_received;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// Cycle accounting by category name: the mechanism behind the Table 5
+/// cost-breakdown reproduction. Every cycle the runtime charges is attributed
+/// to exactly one category, so the breakdown always sums to the total.
+#[derive(Clone, Debug, Default)]
+pub struct CycleAccounting {
+    by_category: BTreeMap<&'static str, u64>,
+    events: BTreeMap<&'static str, u64>,
+}
+
+impl CycleAccounting {
+    /// Charge `cycles` to `category` and count one occurrence.
+    pub fn charge(&mut self, category: &'static str, cycles: Cycles) {
+        *self.by_category.entry(category).or_insert(0) += cycles.get();
+        *self.events.entry(category).or_insert(0) += 1;
+    }
+
+    /// Total cycles charged to `category`.
+    pub fn total(&self, category: &str) -> u64 {
+        self.by_category.get(category).copied().unwrap_or(0)
+    }
+
+    /// Number of charges made to `category`.
+    pub fn count(&self, category: &str) -> u64 {
+        self.events.get(category).copied().unwrap_or(0)
+    }
+
+    /// Mean cycles per charge for `category`; zero if never charged.
+    pub fn mean(&self, category: &str) -> f64 {
+        let n = self.count(category);
+        if n == 0 {
+            0.0
+        } else {
+            self.total(category) as f64 / n as f64
+        }
+    }
+
+    /// All categories with their cycle totals, in category-name order.
+    pub fn totals(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_category.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Grand total across all categories.
+    pub fn grand_total(&self) -> u64 {
+        self.by_category.values().sum()
+    }
+
+    /// Merge another accounting into this one.
+    pub fn merge(&mut self, other: &CycleAccounting) {
+        for (k, v) in &other.by_category {
+            *self.by_category.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// A simple fixed-bucket histogram for latency distributions.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets of `bucket_width` cycles each.
+    pub fn new(bucket_width: u64, buckets: usize) -> Histogram {
+        assert!(bucket_width > 0 && buckets > 0);
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: Cycles) {
+        let v = value.get();
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate p-th percentile (p in 0..=100) using bucket lower bounds.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return i as u64 * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_record_accumulates_word_hops() {
+        let mut t = TrafficStats::default();
+        t.record(10, 3);
+        t.record(4, 0);
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.words, 14);
+        assert_eq!(t.word_hops, 30);
+    }
+
+    #[test]
+    fn traffic_bandwidth_unit() {
+        let mut t = TrafficStats::default();
+        t.record(100, 3); // 100 words, 300 word-hops
+        assert!((t.words_per_10_cycles(Cycles(1000)) - 1.0).abs() < 1e-12);
+        assert!((t.word_hops_per_10_cycles(Cycles(1000)) - 3.0).abs() < 1e-12);
+        assert_eq!(t.words_per_10_cycles(Cycles::ZERO), 0.0);
+        assert_eq!(t.word_hops_per_10_cycles(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn traffic_merge() {
+        let mut a = TrafficStats::default();
+        a.record(5, 2);
+        let mut b = TrafficStats::default();
+        b.record(7, 1);
+        a.merge(&b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.words, 12);
+        assert_eq!(a.word_hops, 17);
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let mut c = CacheStats::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.hits = 3;
+        c.misses = 1;
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounting_sums_and_counts() {
+        let mut a = CycleAccounting::default();
+        a.charge("marshal", Cycles(22));
+        a.charge("marshal", Cycles(22));
+        a.charge("linkage", Cycles(44));
+        assert_eq!(a.total("marshal"), 44);
+        assert_eq!(a.count("marshal"), 2);
+        assert!((a.mean("marshal") - 22.0).abs() < 1e-12);
+        assert_eq!(a.grand_total(), 88);
+        assert_eq!(a.total("missing"), 0);
+    }
+
+    #[test]
+    fn accounting_merge() {
+        let mut a = CycleAccounting::default();
+        a.charge("x", Cycles(10));
+        let mut b = CycleAccounting::default();
+        b.charge("x", Cycles(5));
+        b.charge("y", Cycles(1));
+        a.merge(&b);
+        assert_eq!(a.total("x"), 15);
+        assert_eq!(a.count("x"), 2);
+        assert_eq!(a.total("y"), 1);
+    }
+
+    #[test]
+    fn histogram_mean_and_percentile() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5u64, 15, 15, 25, 95, 200] {
+            h.record(Cycles(v));
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (5 + 15 + 15 + 25 + 95 + 200) as f64 / 6.0).abs() < 1e-9);
+        assert_eq!(h.max(), 200);
+        // Median falls in the 10..20 bucket.
+        assert_eq!(h.percentile(50.0), 10);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(10, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+}

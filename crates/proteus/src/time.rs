@@ -1,0 +1,195 @@
+//! Simulated time, measured in processor cycles.
+//!
+//! The paper reports every result in cycles of a simulated Alewife-like RISC
+//! machine (throughput in operations per 1000 cycles, bandwidth in words per
+//! 10 cycles), so the whole substrate is built on a `Cycles` newtype rather
+//! than wall-clock time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, in processor cycles.
+///
+/// Arithmetic is saturating: simulations run for bounded horizons and a
+/// saturated value is always an error the caller can observe, whereas a
+/// silent wrap would corrupt event ordering.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles; the start of every simulation.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The maximum representable time; used as "never".
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if this is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(v: u64) -> Cycles {
+        Cycles(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_behave() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        assert_eq!(Cycles(3) - Cycles(10), Cycles::ZERO);
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        assert_eq!(Cycles::MAX + Cycles(1), Cycles::MAX);
+    }
+
+    #[test]
+    fn mul_scales() {
+        assert_eq!(Cycles(7) * 3, Cycles(21));
+    }
+
+    #[test]
+    fn div_truncates() {
+        assert_eq!(Cycles(7) / 2, Cycles(3));
+    }
+
+    #[test]
+    fn min_max_pick_correct_endpoint() {
+        assert_eq!(Cycles(3).max(Cycles(9)), Cycles(9));
+        assert_eq!(Cycles(3).min(Cycles(9)), Cycles(3));
+    }
+
+    #[test]
+    fn ordering_matches_raw_value() {
+        assert!(Cycles(1) < Cycles(2));
+        assert!(Cycles(2) <= Cycles(2));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn display_is_plain_number() {
+        assert_eq!(Cycles(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Cycles(42)), "42cy");
+    }
+}

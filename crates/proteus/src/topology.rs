@@ -1,0 +1,149 @@
+//! Machine topology: a 2-D mesh of processors.
+//!
+//! Proteus simulated k-ary n-cube networks; the experiments in the paper ran
+//! on machines of 24–88 processors. We model a 2-D mesh with dimension-order
+//! (Manhattan) routing, which is what determines per-message hop counts and
+//! therefore both latency and word-hop bandwidth accounting.
+
+use crate::ids::ProcId;
+
+/// A 2-D mesh of `width × height` processors, row-major numbered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    width: u32,
+    height: u32,
+}
+
+impl Mesh {
+    /// A mesh with explicit dimensions. Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Mesh {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height }
+    }
+
+    /// The most-square mesh holding at least `n` processors.
+    ///
+    /// E.g. `for_processors(24)` is 5×5, `for_processors(64)` is 8×8,
+    /// `for_processors(88)` is 10×9.
+    pub fn for_processors(n: u32) -> Mesh {
+        assert!(n > 0, "machine must have at least one processor");
+        let mut w = 1u32;
+        while w * w < n {
+            w += 1;
+        }
+        let h = n.div_ceil(w);
+        Mesh::new(w, h)
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of grid positions (may exceed the processor count the
+    /// machine actually uses).
+    pub fn capacity(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Grid coordinates of a processor.
+    pub fn coords(&self, p: ProcId) -> (u32, u32) {
+        (p.0 % self.width, p.0 / self.width)
+    }
+
+    /// Number of network hops between two processors under dimension-order
+    /// routing (Manhattan distance); zero for a processor talking to itself.
+    pub fn hops(&self, a: ProcId, b: ProcId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Mean hop distance over all ordered pairs of `n` processors; useful for
+    /// calibrating latency constants against the paper's 17-cycle transit.
+    pub fn mean_hops(&self, n: u32) -> f64 {
+        assert!(n > 0);
+        if n == 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += u64::from(self.hops(ProcId(a), ProcId(b)));
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_processors_is_square_ish() {
+        assert_eq!(Mesh::for_processors(24), Mesh::new(5, 5));
+        assert_eq!(Mesh::for_processors(64), Mesh::new(8, 8));
+        assert_eq!(Mesh::for_processors(88), Mesh::new(10, 9));
+        assert_eq!(Mesh::for_processors(1), Mesh::new(1, 1));
+    }
+
+    #[test]
+    fn capacity_covers_request() {
+        for n in 1..200 {
+            assert!(Mesh::for_processors(n).capacity() >= n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn coords_row_major() {
+        let m = Mesh::new(4, 3);
+        assert_eq!(m.coords(ProcId(0)), (0, 0));
+        assert_eq!(m.coords(ProcId(3)), (3, 0));
+        assert_eq!(m.coords(ProcId(4)), (0, 1));
+        assert_eq!(m.coords(ProcId(11)), (3, 2));
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.hops(ProcId(0), ProcId(0)), 0);
+        assert_eq!(m.hops(ProcId(0), ProcId(3)), 3);
+        assert_eq!(m.hops(ProcId(0), ProcId(15)), 6);
+        assert_eq!(m.hops(ProcId(5), ProcId(10)), 2);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let m = Mesh::new(5, 5);
+        for a in 0..25 {
+            for b in 0..25 {
+                assert_eq!(m.hops(ProcId(a), ProcId(b)), m.hops(ProcId(b), ProcId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_reasonable() {
+        // For an 8x8 mesh the mean pairwise Manhattan distance is 16/3 ~ 5.33.
+        let m = Mesh::new(8, 8);
+        let mean = m.mean_hops(64);
+        assert!((mean - 16.0 / 3.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn single_processor_mesh() {
+        let m = Mesh::for_processors(1);
+        assert_eq!(m.mean_hops(1), 0.0);
+        assert_eq!(m.hops(ProcId(0), ProcId(0)), 0);
+    }
+}

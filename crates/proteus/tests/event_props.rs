@@ -1,0 +1,85 @@
+//! Property tests for the event queue and engine: total order, FIFO ties,
+//! and horizon semantics — the determinism bedrock of every experiment.
+
+use proptest::prelude::*;
+use proteus::engine::{Engine, Simulation};
+use proteus::event::EventQueue;
+use proteus::Cycles;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pops_are_time_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Cycles(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, _)) = q.pop() {
+            popped.push(at.get());
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(Cycles(t), i);
+        }
+        for expect in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, expect);
+        }
+    }
+
+    #[test]
+    fn mixed_schedule_pop_never_goes_backwards(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000, 1..10), 1..20)
+    ) {
+        let mut q = EventQueue::new();
+        let mut last = 0u64;
+        for batch in &batches {
+            for &delay in batch {
+                q.schedule_after(Cycles(delay), ());
+            }
+            if let Some((at, _)) = q.pop() {
+                prop_assert!(at.get() >= last);
+                last = at.get();
+            }
+        }
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at.get() >= last);
+            last = at.get();
+        }
+    }
+
+    #[test]
+    fn split_runs_equal_one_run(times in proptest::collection::vec(1u64..10_000, 1..50), split in 1u64..9_999) {
+        // Running to horizon H in one call or in two (split anywhere) must
+        // process identical event sequences.
+        struct Recorder(Vec<(u64, usize)>);
+        impl Simulation for Recorder {
+            type Event = usize;
+            fn handle(&mut self, now: Cycles, ev: usize, _q: &mut EventQueue<usize>) {
+                self.0.push((now.get(), ev));
+            }
+        }
+        let run_split = |split: Option<u64>| {
+            let mut sim = Recorder(Vec::new());
+            let mut eng = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                eng.queue_mut().schedule_at(Cycles(t), i);
+            }
+            if let Some(s) = split {
+                eng.run_until(&mut sim, Cycles(s));
+            }
+            eng.run_until(&mut sim, Cycles(10_000));
+            sim.0
+        };
+        prop_assert_eq!(run_split(None), run_split(Some(split)));
+    }
+}

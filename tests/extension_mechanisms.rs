@@ -1,0 +1,135 @@
+//! Extension mechanisms on the real applications.
+//!
+//! The paper discusses — but does not measure — Emerald-style object
+//! migration ("our group has not finished implementing object migration in
+//! Prelude yet") and whole-thread migration (§2.3, "the grain of migration
+//! is too coarse"). We implement both; these tests pin their correctness on
+//! the evaluation workloads and the qualitative claims the paper makes
+//! about them.
+
+use migrate_apps::btree::{verify_tree, BTreeExperiment};
+use migrate_apps::counting::{has_step_property, CountingExperiment, OutputCounter};
+use migrate_rt::{MessageKind, Scheme};
+use proteus::Cycles;
+
+#[test]
+fn btree_stays_valid_under_object_migration() {
+    // Capped drivers + drain: under OM a node can legitimately be *in
+    // flight* between processors, so the tree is only verifiable at
+    // quiescence.
+    let exp = BTreeExperiment {
+        initial_keys: 1_000,
+        data_procs: 12,
+        requesters: 6,
+        requests_per_thread: Some(60),
+        ..BTreeExperiment::paper(0, Scheme::object_migration())
+    };
+    let (mut runner, root) = exp.build();
+    let m = runner.run(Cycles::ZERO, Cycles(80_000_000));
+    assert!(m.ops > 0);
+    assert!(m.message_kinds.contains_key(&MessageKind::ObjectMove));
+    let stats = verify_tree(&runner.system, root).expect("tree survives node pulls");
+    assert!(stats.keys >= 1_000);
+}
+
+#[test]
+fn btree_stays_valid_under_thread_migration() {
+    let exp = BTreeExperiment {
+        initial_keys: 1_000,
+        data_procs: 12,
+        requesters: 6,
+        requests_per_thread: Some(60),
+        ..BTreeExperiment::paper(0, Scheme::thread_migration())
+    };
+    let (mut runner, root) = exp.build();
+    let m = runner.run(Cycles::ZERO, Cycles(80_000_000));
+    assert!(m.ops > 0);
+    assert!(m.message_kinds.contains_key(&MessageKind::ThreadMove));
+    let stats = verify_tree(&runner.system, root).expect("tree valid under thread moves");
+    assert!(stats.keys >= 1_000);
+}
+
+#[test]
+fn counting_network_counts_under_both_extensions() {
+    for scheme in [Scheme::object_migration(), Scheme::thread_migration()] {
+        let exp = CountingExperiment {
+            requests_per_thread: Some(15),
+            ..CountingExperiment::paper(6, 0, scheme)
+        };
+        let (mut runner, spec) = exp.build();
+        runner.run_until(Cycles(60_000_000));
+        let counts: Vec<u64> = spec
+            .counters_in_output_order()
+            .iter()
+            .map(|&g| {
+                runner
+                    .system
+                    .objects()
+                    .state::<OutputCounter>(g)
+                    .unwrap()
+                    .count
+            })
+            .collect();
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            90,
+            "{}: all tokens exited",
+            scheme.label()
+        );
+        assert!(
+            has_step_property(&counts),
+            "{}: {counts:?}",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn object_migration_loses_to_computation_migration_on_write_shared_data() {
+    // §2.4: "if the data is write-shared between many threads, computation
+    // migration will almost always perform better than data migration" —
+    // object migration is data migration without replication, so the gap is
+    // even wider on the counting network's write-shared balancers.
+    let cm = CountingExperiment::paper(16, 0, Scheme::computation_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    let om = CountingExperiment::paper(16, 0, Scheme::object_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    assert!(
+        cm.throughput_per_1000 > om.throughput_per_1000,
+        "CM {} vs OM {}",
+        cm.throughput_per_1000,
+        om.throughput_per_1000
+    );
+}
+
+#[test]
+fn thread_migration_moves_more_state_than_computation_migration() {
+    // §2.3: "migrating an entire thread can be expensive, since there may be
+    // a large amount of state to move". Same chain of work, same hops:
+    // thread moves must ship more words per hop.
+    let cm = CountingExperiment::paper(8, 0, Scheme::computation_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    let tm = CountingExperiment::paper(8, 0, Scheme::thread_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    let cm_words_per_op = cm.message_words as f64 / cm.ops as f64;
+    let tm_words_per_op = tm.message_words as f64 / tm.ops as f64;
+    assert!(
+        tm_words_per_op > cm_words_per_op,
+        "TM {tm_words_per_op} vs CM {cm_words_per_op} words/op"
+    );
+}
+
+#[test]
+fn thread_migration_concentrates_load() {
+    // §2.3: "migrating every thread that accesses a datum to the datum's
+    // processor could put too much load on that processor". Requester
+    // processors end up idle while the balancer processors do everything.
+    let m = CountingExperiment::paper(24, 0, Scheme::thread_migration())
+        .run(Cycles(100_000), Cycles(300_000));
+    assert!(m.ops > 0);
+    assert!(
+        m.max_proc_utilization > 0.8,
+        "some processor must be overloaded: {}",
+        m.max_proc_utilization
+    );
+}

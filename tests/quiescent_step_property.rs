@@ -1,0 +1,81 @@
+//! The counting network's correctness condition, at quiescence.
+//!
+//! A counting network guarantees the *step property* on its output wires
+//! once every token has exited. We cap each driver, run the machine to
+//! quiescence, and check the exact property under every scheme and several
+//! thread counts — concurrent interleavings (including migrations and lock
+//! contention) must never break it, because the annotation/mechanism choice
+//! affects only performance (§3.1).
+
+use migrate_apps::counting::{has_step_property, CountingExperiment, OutputCounter};
+use migrate_rt::Scheme;
+use proteus::Cycles;
+
+fn drained_counts(requesters: u32, per_thread: u64, scheme: Scheme) -> Vec<u64> {
+    let exp = CountingExperiment {
+        requests_per_thread: Some(per_thread),
+        ..CountingExperiment::paper(requesters, 0, scheme)
+    };
+    let (mut runner, spec) = exp.build();
+    // Far horizon: drivers halt after their caps, so the machine quiesces.
+    runner.run_until(Cycles(50_000_000));
+    spec.counters_in_output_order()
+        .iter()
+        .map(|&g| {
+            runner
+                .system
+                .objects()
+                .state::<OutputCounter>(g)
+                .expect("counter")
+                .count
+        })
+        .collect()
+}
+
+#[test]
+fn step_property_under_computation_migration() {
+    for requesters in [1u32, 3, 8, 16] {
+        let counts = drained_counts(requesters, 25, Scheme::computation_migration());
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, u64::from(requesters) * 25, "all tokens exited");
+        assert!(has_step_property(&counts), "{requesters} threads: {counts:?}");
+    }
+}
+
+#[test]
+fn step_property_under_rpc() {
+    let counts = drained_counts(8, 20, Scheme::rpc());
+    assert_eq!(counts.iter().sum::<u64>(), 160);
+    assert!(has_step_property(&counts), "{counts:?}");
+}
+
+#[test]
+fn step_property_under_shared_memory() {
+    let counts = drained_counts(8, 20, Scheme::shared_memory());
+    assert_eq!(counts.iter().sum::<u64>(), 160);
+    assert!(has_step_property(&counts), "{counts:?}");
+}
+
+#[test]
+fn step_property_with_hardware_support() {
+    let counts = drained_counts(16, 15, Scheme::computation_migration().with_hardware());
+    assert_eq!(counts.iter().sum::<u64>(), 240);
+    assert!(has_step_property(&counts), "{counts:?}");
+}
+
+#[test]
+fn values_partition_the_range() {
+    // Beyond the step property: the values handed out are exactly
+    // 0..total — each drawn once. Counter w hands out w, w+8, w+16, …, so
+    // per-wire counts fully determine the value set.
+    let counts = drained_counts(4, 10, Scheme::computation_migration());
+    let total: u64 = counts.iter().sum();
+    let mut values: Vec<u64> = Vec::new();
+    for (wire, &c) in counts.iter().enumerate() {
+        for k in 0..c {
+            values.push(k * counts.len() as u64 + wire as u64);
+        }
+    }
+    values.sort_unstable();
+    assert_eq!(values, (0..total).collect::<Vec<u64>>());
+}
