@@ -29,13 +29,22 @@ fn bench(c: &mut Criterion) {
     println!("\n=== Ablation: RPC general-stub costs (B-tree, 0 think) ===");
     let cp = BTreeExperiment::paper(0, Scheme::computation_migration())
         .run(Cycles(100_000), Cycles(300_000));
-    println!("CP reference: {:.3} ops/1000cyc, {:.2} words/10cyc",
-        cp.throughput_per_1000, cp.bandwidth_words_per_10);
+    println!(
+        "CP reference: {:.3} ops/1000cyc, {:.2} words/10cyc",
+        cp.throughput_per_1000, cp.bandwidth_words_per_10
+    );
     println!(
         "{:<12} {:<12} {:>12} {:>14} {:>10}",
         "dispatch", "stub words", "ops/1000cyc", "words/10cyc", "CP/RPC"
     );
-    for (dispatch, words) in [(0u64, 0u64), (0, 16), (300, 16), (600, 0), (600, 16), (1200, 16)] {
+    for (dispatch, words) in [
+        (0u64, 0u64),
+        (0, 16),
+        (300, 16),
+        (600, 0),
+        (600, 16),
+        (1200, 16),
+    ] {
         let m = rpc_with(dispatch, words).run(Cycles(100_000), Cycles(300_000));
         println!(
             "{:<12} {:<12} {:>12.3} {:>14.2} {:>10.2}",
@@ -50,7 +59,10 @@ fn bench(c: &mut Criterion) {
     println!("\n=== Ablation: hardware-support estimates in isolation (CP) ===");
     for (label, cost) in [
         ("software", CostModel::default()),
-        ("+register NIC", CostModel::default().with_hw_message_support()),
+        (
+            "+register NIC",
+            CostModel::default().with_hw_message_support(),
+        ),
         ("+HW GOID", CostModel::default().with_hw_goid_support()),
         (
             "+both",

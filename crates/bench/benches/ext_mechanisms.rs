@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!("\n=== Extensions: OM (Emerald-style) and TM vs the paper's mechanisms ===");
     let (counting, btree) = extension_rows(0);
-    print!("{}", render_rows("counting network, 32 requesters, 0 think:", &counting));
+    print!(
+        "{}",
+        render_rows("counting network, 32 requesters, 0 think:", &counting)
+    );
     print!("{}", render_rows("B-tree, 16 requesters, 0 think:", &btree));
 
     let mut group = c.benchmark_group("ext_mechanisms");

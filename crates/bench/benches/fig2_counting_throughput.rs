@@ -37,8 +37,8 @@ fn bench(c: &mut Criterion) {
     for scheme in Scheme::figure2_rows() {
         group.bench_function(format!("counting_32procs/{}", scheme.label()), |b| {
             b.iter(|| {
-                let m = CountingExperiment::paper(32, 0, scheme)
-                    .run(Cycles(50_000), Cycles(150_000));
+                let m =
+                    CountingExperiment::paper(32, 0, scheme).run(Cycles(50_000), Cycles(150_000));
                 black_box(m.throughput_per_1000)
             })
         });

@@ -33,14 +33,21 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
-    for scheme in [Scheme::shared_memory(), Scheme::computation_migration(), Scheme::rpc()] {
-        group.bench_function(format!("counting_bandwidth_32procs/{}", scheme.label()), |b| {
-            b.iter(|| {
-                let m = CountingExperiment::paper(32, 0, scheme)
-                    .run(Cycles(50_000), Cycles(150_000));
-                black_box(m.bandwidth_words_per_10)
-            })
-        });
+    for scheme in [
+        Scheme::shared_memory(),
+        Scheme::computation_migration(),
+        Scheme::rpc(),
+    ] {
+        group.bench_function(
+            format!("counting_bandwidth_32procs/{}", scheme.label()),
+            |b| {
+                b.iter(|| {
+                    let m = CountingExperiment::paper(32, 0, scheme)
+                        .run(Cycles(50_000), Cycles(150_000));
+                    black_box(m.bandwidth_words_per_10)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         Scheme::shared_memory(),
         Scheme::rpc(),
         Scheme::computation_migration(),
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     ] {
         group.bench_function(format!("btree_0think/{}", scheme.label()), |b| {
             b.iter(|| {

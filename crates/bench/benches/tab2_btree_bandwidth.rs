@@ -18,7 +18,11 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("tab2");
     group.sample_size(10);
-    for scheme in [Scheme::shared_memory(), Scheme::rpc(), Scheme::computation_migration()] {
+    for scheme in [
+        Scheme::shared_memory(),
+        Scheme::rpc(),
+        Scheme::computation_migration(),
+    ] {
         group.bench_function(format!("btree_bandwidth/{}", scheme.label()), |b| {
             b.iter(|| {
                 let m = BTreeExperiment::paper(0, scheme).run(Cycles(50_000), Cycles(200_000));

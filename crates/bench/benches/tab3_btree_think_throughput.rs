@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for scheme in [
         Scheme::shared_memory(),
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     ] {
         group.bench_function(format!("btree_10000think/{}", scheme.label()), |b| {
             b.iter(|| {

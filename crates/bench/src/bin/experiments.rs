@@ -2,66 +2,120 @@
 //!
 //! ```text
 //! experiments [fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|all]
+//!             [--json <path>]
 //! ```
 //!
 //! With no argument (or `all`) everything runs; output is the paper's
 //! artifacts side by side with the published numbers, in EXPERIMENTS.md
-//! format.
+//! format. With `--json <path>` the same runs are also written to `<path>`
+//! as a machine-readable document:
+//!
+//! ```text
+//! {"schema_version":1,"artifacts":{"fig1":...,"fig2":...,...}}
+//! ```
 
+use bench::json::{obj, Json};
 use bench::{
-    btree_table, btree_table_think, counting_sweep, extension_rows, fanout10_rows,
-    migration_breakdown, render_rows, CountingPoint,
+    breakdown_to_json, btree_table, btree_table_think, counting_sweep, extension_rows,
+    fanout10_rows, migration_breakdown, points_to_json, render_rows, rows_to_json, CountingPoint,
 };
 use migrate_model::{figure1, Pattern};
 use migrate_rt::Scheme;
 
-const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions]";
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions] [--json <path>]";
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--json requires a path\n{USAGE}");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
+    let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
     let known = [
-        "all", "fig1", "fig2", "fig3", "table1", "table2", "table3", "table4", "table5",
-        "fanout10", "extensions",
+        "all",
+        "fig1",
+        "fig2",
+        "fig3",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fanout10",
+        "extensions",
     ];
-    if !known.contains(&arg.as_str()) {
-        eprintln!("unknown artifact '{arg}'\n{USAGE}");
+    if !known.contains(&arg.as_str()) || args.len() > 1 {
+        eprintln!("unknown arguments {args:?}\n{USAGE}");
         std::process::exit(2);
     }
     let all = arg == "all";
+    let mut artifacts: Vec<(String, Json)> = Vec::new();
+    let mut emit = |name: &str, value: Json| artifacts.push((name.to_string(), value));
     if all || arg == "fig1" {
-        fig1();
+        fig1(&mut emit);
     }
     if all || arg == "fig2" || arg == "fig3" {
-        fig2_fig3();
+        fig2_fig3(&mut emit);
     }
     if all || arg == "table1" || arg == "table2" {
-        table1_2();
+        table1_2(&mut emit);
     }
     if all || arg == "table3" || arg == "table4" {
-        table3_4();
+        table3_4(&mut emit);
     }
     if all || arg == "table5" {
-        table5();
+        table5(&mut emit);
     }
     if all || arg == "fanout10" {
-        fanout10();
+        fanout10(&mut emit);
     }
     if all || arg == "extensions" {
-        extensions();
+        extensions(&mut emit);
+    }
+    if let Some(path) = json_path {
+        let doc = obj(vec![
+            ("schema_version", Json::Int(1)),
+            ("artifacts", Json::Obj(artifacts)),
+        ]);
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote JSON artifacts to {path}");
     }
 }
 
-fn extensions() {
+type Emit<'a> = &'a mut dyn FnMut(&str, Json);
+
+fn extensions(emit: Emit) {
     println!("== Extensions: object migration (Emerald-style) and thread migration ==");
     println!("(mechanisms the paper discusses but did not measure; DESIGN.md §7)\n");
     let (counting, btree) = extension_rows(0);
-    print!("{}", render_rows("counting network, 32 requesters, 0 think:", &counting));
+    print!(
+        "{}",
+        render_rows("counting network, 32 requesters, 0 think:", &counting)
+    );
     println!();
     print!("{}", render_rows("B-tree, 16 requesters, 0 think:", &btree));
     println!();
+    emit(
+        "extensions",
+        obj(vec![
+            ("counting", rows_to_json(&counting)),
+            ("btree", rows_to_json(&btree)),
+        ]),
+    );
 }
 
-fn fig1() {
+fn fig1(emit: Emit) {
     println!("== Figure 1: message counts (analytic model, §2.5) ==");
     println!("one thread, n consecutive accesses to each of m items\n");
     println!(
@@ -76,14 +130,40 @@ fn fig1() {
         Pattern::new(6, 4),
         Pattern::new(8, 8),
     ];
-    for row in figure1(&patterns) {
+    let rows = figure1(&patterns);
+    for row in &rows {
         println!(
             "({:>2},{:>2})    {:>8} {:>10} {:>16}",
-            row.pattern.items, row.pattern.accesses_per_item, row.rpc, row.data_migration,
+            row.pattern.items,
+            row.pattern.accesses_per_item,
+            row.rpc,
+            row.data_migration,
             row.computation_migration
         );
     }
     println!();
+    emit(
+        "fig1",
+        Json::Arr(
+            rows.iter()
+                .map(|row| {
+                    obj(vec![
+                        ("items", Json::Int(row.pattern.items)),
+                        (
+                            "accesses_per_item",
+                            Json::Int(row.pattern.accesses_per_item),
+                        ),
+                        ("rpc", Json::Int(row.rpc)),
+                        ("data_migration", Json::Int(row.data_migration)),
+                        (
+                            "computation_migration",
+                            Json::Int(row.computation_migration),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    );
 }
 
 fn print_counting(points: &[CountingPoint], metric: &str) {
@@ -107,7 +187,7 @@ fn print_counting(points: &[CountingPoint], metric: &str) {
     println!();
 }
 
-fn fig2_fig3() {
+fn fig2_fig3(emit: Emit) {
     for think in [10_000u64, 0] {
         println!("== Figures 2 & 3: counting network, {think} cycle think time ==");
         let points = counting_sweep(think, &[8, 16, 32, 48, 64]);
@@ -115,10 +195,18 @@ fn fig2_fig3() {
         print_counting(&points, "throughput");
         println!("-- Figure 3: bandwidth (words sent/10 cycles) --");
         print_counting(&points, "bandwidth");
+        // fig2 (throughput) and fig3 (bandwidth) come from the same runs;
+        // emit one artifact per think time holding both.
+        let name = if think == 0 {
+            "fig2_fig3_think0"
+        } else {
+            "fig2_fig3_think10000"
+        };
+        emit(name, points_to_json(&points));
     }
 }
 
-fn table1_2() {
+fn table1_2(emit: Emit) {
     println!("== Tables 1 & 2: B-tree, 0 cycle think time ==");
     println!("paper Table 1 (ops/1000cyc): SM 1.837  RPC 0.3828  RPC w/HW 0.5133");
     println!("  RPC w/repl. 0.6060  RPC w/repl.&HW 0.7830  CP 0.8018  CP w/HW 0.9570");
@@ -128,34 +216,38 @@ fn table1_2() {
     let rows = btree_table(0, &Scheme::table1_rows());
     print!("{}", render_rows("measured:", &rows));
     println!();
+    emit("table1_table2", rows_to_json(&rows));
 }
 
-fn table3_4() {
+fn table3_4(emit: Emit) {
     println!("== Tables 3 & 4: B-tree, 10000 cycle think time ==");
     println!("paper Table 3 (ops/1000cyc): SM 1.071  CP w/repl. 0.9816  CP w/repl.&HW 1.053");
     println!("paper Table 4 (words/10cyc): SM 16  CP w/repl. 2.5  CP w/repl.&HW 2.7\n");
     let rows = btree_table_think();
     print!("{}", render_rows("measured:", &rows));
     println!();
+    emit("table3_table4", rows_to_json(&rows));
 }
 
-fn table5() {
+fn table5(emit: Emit) {
     println!("== Table 5: cost breakdown for one migration (counting network, CP) ==");
     println!("paper: total 651 = user 150 + transit 17 + receiver ~341 + sender ~143\n");
     let (lines, total, migrations) = migration_breakdown();
     println!("measured over {migrations} migrations:");
     println!("{:<28} {:>10}", "category", "cycles");
     println!("{:<28} {:>10.1}", "TOTAL", total);
-    for line in lines {
+    for line in &lines {
         println!("{:<28} {:>10.1}", line.category, line.cycles);
     }
     println!();
+    emit("table5", breakdown_to_json(&lines, total, migrations));
 }
 
-fn fanout10() {
+fn fanout10(emit: Emit) {
     println!("== §4.2 fanout-10 B-tree: CP w/repl. vs SM, 0 think time ==");
     println!("paper: CP w/repl. 2.076 vs SM 2.427 ops/1000 cycles\n");
     let rows = fanout10_rows();
     print!("{}", render_rows("measured:", &rows));
     println!();
+    emit("fanout10", rows_to_json(&rows));
 }

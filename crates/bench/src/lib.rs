@@ -13,6 +13,10 @@ use migrate_apps::counting::CountingExperiment;
 use migrate_rt::{categories as cat, RunMetrics, Scheme};
 use proteus::Cycles;
 
+pub mod json;
+
+use json::{obj, Json};
+
 /// Default warm-up for counting-network points.
 pub const COUNTING_WARMUP: Cycles = Cycles(150_000);
 /// Default measurement window for counting-network points.
@@ -56,14 +60,14 @@ pub fn counting_sweep(think: u64, requester_counts: &[u32]) -> Vec<CountingPoint
             rows: Vec::new(),
         })
         .collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &requesters in requester_counts {
             for &scheme in &schemes {
                 handles.push((
                     requesters,
                     scheme,
-                    scope.spawn(move |_| counting_cell(requesters, think, scheme)),
+                    scope.spawn(move || counting_cell(requesters, think, scheme)),
                 ));
             }
         }
@@ -78,8 +82,7 @@ pub fn counting_sweep(think: u64, requester_counts: &[u32]) -> Vec<CountingPoint
                 metrics,
             });
         }
-    })
-    .expect("scope");
+    });
     points
 }
 
@@ -100,10 +103,10 @@ pub fn btree_cell(think: u64, scheme: Scheme, fanout: usize) -> RunMetrics {
 /// bandwidth come from the same runs).
 pub fn btree_table(think: u64, schemes: &[Scheme]) -> Vec<Row> {
     let mut rows: Vec<Option<Row>> = vec![None; schemes.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = schemes
             .iter()
-            .map(|&scheme| scope.spawn(move |_| btree_cell(think, scheme, 100)))
+            .map(|&scheme| scope.spawn(move || btree_cell(think, scheme, 100)))
             .collect();
         for (slot, (handle, scheme)) in rows.iter_mut().zip(handles.into_iter().zip(schemes)) {
             *slot = Some(Row {
@@ -111,8 +114,7 @@ pub fn btree_table(think: u64, schemes: &[Scheme]) -> Vec<Row> {
                 metrics: handle.join().expect("simulation thread panicked"),
             });
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -122,7 +124,9 @@ pub fn btree_table_think() -> Vec<Row> {
     let schemes = [
         Scheme::shared_memory(),
         Scheme::computation_migration().with_replication(),
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     ];
     btree_table(10_000, &schemes)
 }
@@ -134,10 +138,10 @@ pub fn fanout10_rows() -> Vec<Row> {
         Scheme::computation_migration().with_replication(),
     ];
     let mut rows = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = schemes
             .iter()
-            .map(|&scheme| scope.spawn(move |_| btree_cell(0, scheme, 10)))
+            .map(|&scheme| scope.spawn(move || btree_cell(0, scheme, 10)))
             .collect();
         for (handle, scheme) in handles.into_iter().zip(schemes) {
             rows.push(Row {
@@ -145,8 +149,7 @@ pub fn fanout10_rows() -> Vec<Row> {
                 metrics: handle.join().expect("simulation thread panicked"),
             });
         }
-    })
-    .expect("scope");
+    });
     rows
 }
 
@@ -163,14 +166,14 @@ pub fn extension_rows(think: u64) -> (Vec<Row>, Vec<Row>) {
     ];
     let mut counting = Vec::new();
     let mut btree = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let ch: Vec<_> = schemes
             .iter()
-            .map(|&s| scope.spawn(move |_| counting_cell(32, think, s)))
+            .map(|&s| scope.spawn(move || counting_cell(32, think, s)))
             .collect();
         let bh: Vec<_> = schemes
             .iter()
-            .map(|&s| scope.spawn(move |_| btree_cell(think, s, 100)))
+            .map(|&s| scope.spawn(move || btree_cell(think, s, 100)))
             .collect();
         for (h, s) in ch.into_iter().zip(schemes) {
             counting.push(Row {
@@ -184,8 +187,7 @@ pub fn extension_rows(think: u64) -> (Vec<Row>, Vec<Row>) {
                 metrics: h.join().expect("sim thread"),
             });
         }
-    })
-    .expect("scope");
+    });
     (counting, btree)
 }
 
@@ -232,6 +234,127 @@ pub const TABLE5_CATEGORIES: &[&str] = &[
     cat::MESSAGE_SEND,
     cat::MARSHAL,
 ];
+
+/// Serialize a [`RunMetrics`] to JSON (every field the text tables print,
+/// plus the observability extensions: dispatch counters, per-processor
+/// stats, audit summary, and the full accounting breakdown).
+pub fn metrics_to_json(m: &RunMetrics) -> Json {
+    let accounting = Json::Obj(
+        m.accounting
+            .totals()
+            .map(|(category, cycles)| (category.to_string(), Json::Int(cycles)))
+            .collect(),
+    );
+    let migration_accounting = Json::Obj(
+        m.migration_accounting
+            .totals()
+            .map(|(category, cycles)| (category.to_string(), Json::Int(cycles)))
+            .collect(),
+    );
+    let dispatch = Json::Arr(
+        m.dispatch
+            .rows()
+            .map(|(site, kind, count)| {
+                obj(vec![
+                    ("site", Json::Str(site.to_string())),
+                    ("mechanism", Json::Str(kind.label().to_string())),
+                    ("count", Json::Int(count)),
+                ])
+            })
+            .collect(),
+    );
+    let per_proc = Json::Arr(
+        m.per_proc
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("proc", Json::Int(u64::from(p.proc))),
+                    ("utilization", Json::Num(p.utilization)),
+                    ("busy_cycles", Json::Int(p.busy_cycles)),
+                    ("tasks_served", Json::Int(p.tasks_served)),
+                    ("max_queue_depth", Json::Int(p.max_queue_depth as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let audit = match &m.audit {
+        Some(a) => obj(vec![
+            ("tasks_checked", Json::Int(a.tasks_checked)),
+            ("grand_total", Json::Int(a.grand_total)),
+            ("busy_total", Json::Int(a.busy_total)),
+            ("transit_total", Json::Int(a.transit_total)),
+        ]),
+        None => Json::Null,
+    };
+    obj(vec![
+        ("window_cycles", Json::Int(m.window.get())),
+        ("ops", Json::Int(m.ops)),
+        ("throughput_per_1000", Json::Num(m.throughput_per_1000)),
+        (
+            "bandwidth_words_per_10",
+            Json::Num(m.bandwidth_words_per_10),
+        ),
+        ("load_word_hops_per_10", Json::Num(m.load_word_hops_per_10)),
+        ("messages", Json::Int(m.messages)),
+        ("message_words", Json::Int(m.message_words)),
+        ("cache_hit_rate", Json::Num(m.cache_hit_rate)),
+        ("mean_op_latency", Json::Num(m.mean_op_latency)),
+        ("migrations", Json::Int(m.migrations)),
+        ("max_proc_utilization", Json::Num(m.max_proc_utilization)),
+        ("accounting", accounting),
+        ("migration_accounting", migration_accounting),
+        ("dispatch", dispatch),
+        ("per_proc", per_proc),
+        ("audit", audit),
+        ("runtime_errors", Json::Int(m.runtime_errors)),
+    ])
+}
+
+/// Serialize labeled rows (one table) to a JSON array.
+pub fn rows_to_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                obj(vec![
+                    ("scheme", Json::Str(row.label.clone())),
+                    ("metrics", metrics_to_json(&row.metrics)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Serialize Figure 2/3 sweep points to a JSON array.
+pub fn points_to_json(points: &[CountingPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("requesters", Json::Int(u64::from(p.requesters))),
+                    ("rows", rows_to_json(&p.rows)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Serialize the Table 5 breakdown to JSON.
+pub fn breakdown_to_json(lines: &[BreakdownLine], total: f64, migrations: u64) -> Json {
+    obj(vec![
+        ("migrations", Json::Int(migrations)),
+        ("total_cycles_per_migration", Json::Num(total)),
+        (
+            "categories",
+            Json::Obj(
+                lines
+                    .iter()
+                    .map(|l| (l.category.to_string(), Json::Num(l.cycles)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 /// Render rows as an aligned text table of throughput and bandwidth.
 pub fn render_rows(title: &str, rows: &[Row]) -> String {

@@ -18,7 +18,7 @@
 //! cache-coherent shared memory its large bandwidth appetite in Table 2.
 
 use migrate_rt::{
-    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, Runner, RunMetrics, Scheme,
+    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner, Scheme,
     StepCtx, StepResult, System, Word,
 };
 use proteus::{Cycles, ProcId};
@@ -79,7 +79,13 @@ const HDR: u64 = 32;
 
 impl BTreeNode {
     /// A fresh leaf.
-    pub fn leaf(keys: Vec<u64>, high_key: u64, right: Option<Goid>, fanout: usize, compute: u64) -> Self {
+    pub fn leaf(
+        keys: Vec<u64>,
+        high_key: u64,
+        right: Option<Goid>,
+        fanout: usize,
+        compute: u64,
+    ) -> Self {
         BTreeNode {
             high_key,
             right,
@@ -529,6 +535,9 @@ pub struct BTreeExperiment {
     pub requests_per_thread: Option<u64>,
     /// Placement/workload seed.
     pub seed: u64,
+    /// Enable the runtime's cycle-accounting audit (see
+    /// `migrate_rt::MachineConfig::audit`).
+    pub audit: bool,
 }
 
 impl BTreeExperiment {
@@ -549,6 +558,7 @@ impl BTreeExperiment {
             coherence_override: None,
             requests_per_thread: None,
             seed: 0xB7EE,
+            audit: false,
         }
     }
 
@@ -567,6 +577,7 @@ impl BTreeExperiment {
         let mut cfg = MachineConfig::new(processors, self.scheme);
         cfg.seed = self.seed;
         cfg.cost_override = self.cost_override.clone();
+        cfg.audit = self.audit;
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -622,7 +633,10 @@ pub fn bulk_load(
 ) -> Goid {
     assert!(fanout >= 4, "fanout too small");
     assert!(!sorted_keys.is_empty(), "cannot load an empty tree");
-    assert!(sorted_keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted+distinct");
+    assert!(
+        sorted_keys.windows(2).all(|w| w[0] < w[1]),
+        "keys must be sorted+distinct"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
     let fill = (fanout * 2 / 3).max(2);
     let mut place = |system: &mut System, node: BTreeNode| -> Goid {
@@ -636,10 +650,7 @@ pub fn bulk_load(
     let mut prev: Option<Goid> = None;
     // Build right-to-left so right links point at existing nodes.
     for (i, chunk) in chunks.iter().enumerate().rev() {
-        let high_key = chunks
-            .get(i + 1)
-            .map(|next| next[0])
-            .unwrap_or(u64::MAX);
+        let high_key = chunks.get(i + 1).map(|next| next[0]).unwrap_or(u64::MAX);
         let node = BTreeNode::leaf(chunk.to_vec(), high_key, prev, fanout, node_compute);
         let goid = place(system, node);
         prev = Some(goid);
@@ -810,9 +821,7 @@ pub fn lookup_pure(system: &System, root: Goid, key: u64) -> bool {
     let objects = system.objects();
     let mut current = root;
     for _ in 0..1_000 {
-        let n = objects
-            .state::<BTreeNode>(current)
-            .expect("node exists");
+        let n = objects.state::<BTreeNode>(current).expect("node exists");
         if key >= n.high_key {
             current = n.right.expect("bounded node has right link");
             continue;
@@ -845,6 +854,7 @@ mod tests {
             coherence_override: None,
             requests_per_thread: None,
             seed: 42,
+            audit: false,
         }
     }
 
@@ -980,10 +990,7 @@ mod tests {
         // Replication must reduce migrations per op (root hop removed).
         let plain_per = m_plain.migrations as f64 / m_plain.ops as f64;
         let repl_per = m_repl.migrations as f64 / m_repl.ops as f64;
-        assert!(
-            repl_per < plain_per,
-            "repl {repl_per} vs plain {plain_per}"
-        );
+        assert!(repl_per < plain_per, "repl {repl_per} vs plain {plain_per}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use migrate_rt::{
-    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, Runner, RunMetrics, Scheme,
+    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner, Scheme,
     StepCtx, StepResult, Word,
 };
 use proteus::{Cycles, ProcId};
@@ -56,10 +56,7 @@ pub struct Wiring {
 }
 
 /// Zip two equal-depth sub-networks into parallel layers.
-fn zip_layers(
-    a: Vec<Vec<(u32, u32)>>,
-    b: Vec<Vec<(u32, u32)>>,
-) -> Vec<Vec<(u32, u32)>> {
+fn zip_layers(a: Vec<Vec<(u32, u32)>>, b: Vec<Vec<(u32, u32)>>) -> Vec<Vec<(u32, u32)>> {
     debug_assert_eq!(a.len(), b.len(), "sub-networks must have equal depth");
     a.into_iter()
         .zip(b)
@@ -203,7 +200,8 @@ impl Wiring {
     /// compare the simulated network against.
     pub fn pure_counts(&self, tokens: u64, entries: &[u32]) -> Vec<u64> {
         assert!(!entries.is_empty());
-        let mut toggles: Vec<Vec<bool>> = self.layers.iter().map(|l| vec![false; l.len()]).collect();
+        let mut toggles: Vec<Vec<bool>> =
+            self.layers.iter().map(|l| vec![false; l.len()]).collect();
         let mut out = vec![0u64; self.width as usize];
         for t in 0..tokens {
             let mut wire = entries[(t % entries.len() as u64) as usize];
@@ -521,6 +519,9 @@ pub struct CountingExperiment {
     pub coherence_override: Option<proteus::CoherenceCosts>,
     /// Placement/workload seed.
     pub seed: u64,
+    /// Enable the runtime's cycle-accounting audit (see
+    /// `migrate_rt::MachineConfig::audit`).
+    pub audit: bool,
 }
 
 impl CountingExperiment {
@@ -539,6 +540,7 @@ impl CountingExperiment {
             cost_override: None,
             coherence_override: None,
             seed: 0xC0DE,
+            audit: false,
         }
     }
 
@@ -556,6 +558,7 @@ impl CountingExperiment {
         cfg.seed = self.seed;
         cfg.data_procs = (0..balancer_procs).map(ProcId).collect();
         cfg.cost_override = self.cost_override.clone();
+        cfg.audit = self.audit;
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -661,10 +664,7 @@ mod tests {
         let w = Wiring::bitonic(8);
         for tokens in [1u64, 7, 8, 64, 100, 1000] {
             let counts = w.pure_counts(tokens, &[0, 1, 2, 3, 4, 5, 6, 7]);
-            assert!(
-                has_step_property(&counts),
-                "{tokens} tokens: {counts:?}"
-            );
+            assert!(has_step_property(&counts), "{tokens} tokens: {counts:?}");
             assert_eq!(counts.iter().sum::<u64>(), tokens);
         }
     }
@@ -707,7 +707,14 @@ mod tests {
         let sim_counts: Vec<u64> = spec
             .counters_in_output_order()
             .iter()
-            .map(|&g| runner.system.objects().state::<OutputCounter>(g).unwrap().count)
+            .map(|&g| {
+                runner
+                    .system
+                    .objects()
+                    .state::<OutputCounter>(g)
+                    .unwrap()
+                    .count
+            })
             .collect();
         let total: u64 = sim_counts.iter().sum();
         assert!(total > 10, "driver made progress: {total}");
@@ -726,10 +733,21 @@ mod tests {
         let drawn: u64 = spec
             .counters
             .iter()
-            .map(|&g| runner.system.objects().state::<OutputCounter>(g).unwrap().count)
+            .map(|&g| {
+                runner
+                    .system
+                    .objects()
+                    .state::<OutputCounter>(g)
+                    .unwrap()
+                    .count
+            })
             .sum();
         assert!(m.ops > 0);
-        assert!(drawn >= m.ops, "counter draws {drawn} >= window ops {}", m.ops);
+        assert!(
+            drawn >= m.ops,
+            "counter draws {drawn} >= window ops {}",
+            m.ops
+        );
     }
 
     #[test]

@@ -134,6 +134,7 @@ proptest! {
             coherence_override: None,
             requests_per_thread: None,
             seed,
+            audit: true,
         };
         let (mut runner, root) = exp.build();
         runner.run_until(Cycles(1_500_000));

@@ -5,7 +5,9 @@
 //! property on the outputs, and the simulated machine agrees with the pure
 //! token-walk oracle.
 
-use migrate_apps::counting::{has_step_property, CountingExperiment, OutputCounter, Topology, Wiring};
+use migrate_apps::counting::{
+    has_step_property, CountingExperiment, OutputCounter, Topology, Wiring,
+};
 use migrate_rt::Scheme;
 use proptest::prelude::*;
 use proteus::Cycles;
@@ -127,4 +129,54 @@ proptest! {
         );
         prop_assert!(has_step_property(&counts), "{:?}", counts);
     }
+}
+
+/// Replay the pinned regression cases from `counting_props.proptest-regressions`
+/// as a deterministic test, independent of the proptest runner.
+///
+/// The sidecar file is proptest's persistence format; the vendored proptest
+/// stub does not read it, so this test parses the `# shrinks to ...` comments
+/// itself and drives each pinned input through the same assertions as
+/// `pure_walk_counts_for_any_width` and `periodic_network_counts_for_any_width`.
+#[test]
+fn replays_pinned_regressions() {
+    let sidecar = include_str!("counting_props.proptest-regressions");
+    let mut replayed = 0u32;
+    for line in sidecar.lines() {
+        let Some(shrunk) = line.split("# shrinks to ").nth(1) else {
+            continue;
+        };
+        let mut width_pow = None;
+        let mut tokens = None;
+        let mut entry_seed = None;
+        for assign in shrunk.split(',') {
+            let (name, value) = assign.split_once('=').expect("name = value");
+            let value = value.trim();
+            match name.trim() {
+                "width_pow" => width_pow = Some(value.parse::<u32>().unwrap()),
+                "tokens" => tokens = Some(value.parse::<u64>().unwrap()),
+                "entry_seed" => entry_seed = Some(value.parse::<u64>().unwrap()),
+                other => panic!("unknown pinned variable {other:?}"),
+            }
+        }
+        let (width_pow, tokens, entry_seed) = (
+            width_pow.expect("width_pow pinned"),
+            tokens.expect("tokens pinned"),
+            entry_seed.expect("entry_seed pinned"),
+        );
+        let width = 1u32 << width_pow;
+        let entries: Vec<u32> = (0..width)
+            .map(|i| (entry_seed.rotate_left(i) as u32) % width)
+            .collect();
+        for wiring in [Wiring::bitonic(width), Wiring::periodic(width)] {
+            let counts = wiring.pure_counts(tokens, &entries);
+            assert_eq!(counts.iter().sum::<u64>(), tokens);
+            assert!(
+                has_step_property(&counts),
+                "pinned case width_pow={width_pow} tokens={tokens} entry_seed={entry_seed}: {counts:?}"
+            );
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "sidecar file lost its pinned cases");
 }

@@ -174,7 +174,10 @@ mod tests {
     fn cm_beats_data_migration_iff_multiple_items() {
         assert!(Pattern::new(1, 5).cm_saving_vs_data_migration() == 0);
         for m in 2..20 {
-            assert!(Pattern::new(m, 5).cm_saving_vs_data_migration() > 0, "m={m}");
+            assert!(
+                Pattern::new(m, 5).cm_saving_vs_data_migration() > 0,
+                "m={m}"
+            );
         }
     }
 
@@ -193,8 +196,7 @@ mod tests {
         for m in 1..8 {
             for n in 1..5 {
                 let p = Pattern::new(m, n);
-                let sum =
-                    |mech| -> u64 { figure1_links(p, mech).iter().map(|&(_, _, c)| c).sum() };
+                let sum = |mech| -> u64 { figure1_links(p, mech).iter().map(|&(_, _, c)| c).sum() };
                 assert_eq!(sum(Mechanism::Rpc), p.rpc_messages());
                 assert_eq!(sum(Mechanism::DataMigration), p.data_migration_messages());
                 assert_eq!(

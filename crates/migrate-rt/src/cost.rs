@@ -62,6 +62,33 @@ pub mod categories {
     pub const MEMORY_STALL: &str = "memory_stall";
     /// Applying a software-replication update at a replica.
     pub const REPLICA_APPLY: &str = "replica_apply";
+
+    /// Every category the runtime may charge, in report order. The audit
+    /// mode checks each charged category against this registry, so a new
+    /// constant that is not added here fails the cost-audit test rather
+    /// than silently leaking unattributed cycles.
+    pub const ALL: &[&str] = &[
+        USER_CODE,
+        NETWORK_TRANSIT,
+        COPY_PACKET,
+        THREAD_CREATION,
+        LINKAGE_RECV,
+        UNMARSHAL,
+        GOID_TRANSLATION,
+        SCHEDULER,
+        FORWARDING_CHECK,
+        ALLOC_PACKET_RECV,
+        RPC_DISPATCH,
+        LINKAGE_SEND,
+        ALLOC_PACKET_SEND,
+        MESSAGE_SEND,
+        MARSHAL,
+        LOCALITY_CHECK,
+        LOCAL_LINKAGE,
+        LOCK_STALL,
+        MEMORY_STALL,
+        REPLICA_APPLY,
+    ];
 }
 
 /// Cycle costs of the message-passing runtime.
@@ -225,7 +252,7 @@ mod tests {
     fn default_sender_overhead_matches_table5_scale() {
         // Table 5: sender total 143 cycles for the migration message.
         let c = CostModel::default();
-        let s = c.send(4, ).get();
+        let s = c.send(4).get();
         assert!((115..=150).contains(&s), "sender overhead {s}");
     }
 

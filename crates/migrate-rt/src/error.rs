@@ -1,0 +1,68 @@
+//! Typed runtime errors for malformed protocol state.
+//!
+//! The migration protocol has invariants a well-formed simulation never
+//! violates (a `Migration` message always carries frames; a reply for a
+//! detached activation always finds its group parked at the destination).
+//! Rather than aborting the whole simulation with a panic when a malformed
+//! message shows up, the runtime records a [`RuntimeError`], drops the
+//! offending task after charging what it already consumed, and keeps going.
+//! Debug builds still assert so model bugs surface loudly in tests; release
+//! runs surface the errors through `System::runtime_errors` and the metrics
+//! audit instead of tearing down a multi-minute experiment.
+
+use proteus::ProcId;
+
+use crate::types::ThreadId;
+
+/// A protocol invariant violated by a runtime message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A `Migration` message arrived carrying no activation frames.
+    EmptyMigration {
+        /// Thread the message claimed to migrate.
+        thread: ThreadId,
+        /// Processor the message arrived at.
+        at: ProcId,
+    },
+    /// A reply or continuation addressed a detached activation group that is
+    /// not parked at the destination processor.
+    UnknownDetachedGroup {
+        /// Thread whose group was expected.
+        thread: ThreadId,
+        /// Processor the message arrived at.
+        at: ProcId,
+    },
+    /// A detached (migrated) activation asked to sleep; think time runs at
+    /// the thread's home, never at a migration target.
+    DetachedFrameSlept {
+        /// The offending thread.
+        thread: ThreadId,
+        /// Processor the detached group was running on.
+        at: ProcId,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::EmptyMigration { thread, at } => {
+                write!(
+                    f,
+                    "migration message for {thread:?} at {at:?} carries no frames"
+                )
+            }
+            RuntimeError::UnknownDetachedGroup { thread, at } => {
+                write!(f, "no detached frame group for {thread:?} parked at {at:?}")
+            }
+            RuntimeError::DetachedFrameSlept { thread, at } => {
+                write!(
+                    f,
+                    "detached frame of {thread:?} at {at:?} tried to sleep \
+                     (think time runs at the thread's home)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -212,7 +212,9 @@ mod tests {
 
     #[test]
     fn invoke_builders() {
-        let i = Invoke::migrate(Goid(2), MethodId(1), vec![1, 2]).reading().short();
+        let i = Invoke::migrate(Goid(2), MethodId(1), vec![1, 2])
+            .reading()
+            .short();
         assert_eq!(i.annotation, Annotation::Migrate);
         assert!(i.read_only);
         assert!(i.short_method);

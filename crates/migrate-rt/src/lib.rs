@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cost;
+pub mod error;
 pub mod frame;
 pub mod mechanism;
 pub mod message;
@@ -82,9 +83,10 @@ pub mod system;
 pub mod types;
 
 pub use cost::{categories, CostModel};
+pub use error::RuntimeError;
 pub use frame::{Frame, Invoke, StepCtx, StepResult};
-pub use mechanism::{Annotation, DataAccess, Scheme};
+pub use mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 pub use message::{Message, MessageKind, Payload};
 pub use object::{Behavior, MethodEnv, ObjectEntry, ObjectTable};
-pub use system::{Event, MachineConfig, RunMetrics, Runner, System};
+pub use system::{AuditSummary, Event, MachineConfig, ProcWindowStats, RunMetrics, Runner, System};
 pub use types::{Goid, MethodId, ThreadId, Word};

@@ -7,6 +7,8 @@
 //! the machine-level configuration an experiment runs under (the rows of
 //! Tables 1–4).
 
+use std::collections::BTreeMap;
+
 use crate::cost::CostModel;
 
 /// The per-call-site program annotation (§3.1).
@@ -47,6 +49,102 @@ pub enum DataAccess {
     /// thread* — every activation — to the data, permanently rehoming it.
     /// The grain the paper argues is too coarse.
     ThreadMigration,
+}
+
+/// How one invocation was ultimately dispatched — the runtime's *observed*
+/// mechanism choice, as opposed to the [`Annotation`] requested at the call
+/// site. The two differ exactly when the paper says they should: local
+/// targets are always invoked inline, and disabling `Scheme::migration`
+/// downgrades `Migrate` to RPC.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DispatchKind {
+    /// Target object was local: invoked inline.
+    LocalInline,
+    /// Read-only method answered from a local software replica.
+    ReplicaRead,
+    /// Remote procedure call.
+    Rpc,
+    /// Computation migration of the current activation (group).
+    Migration,
+    /// A detached (already-migrated) activation migrated onward.
+    Remigration,
+    /// Whole-thread migration (TM substrate).
+    ThreadMove,
+    /// Emerald-style object pull (OM substrate).
+    ObjectPull,
+    /// Shared-memory execution through the coherence oracle.
+    SharedMemory,
+}
+
+impl DispatchKind {
+    /// Stable snake_case label used in metrics and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchKind::LocalInline => "local_inline",
+            DispatchKind::ReplicaRead => "replica_read",
+            DispatchKind::Rpc => "rpc",
+            DispatchKind::Migration => "migration",
+            DispatchKind::Remigration => "remigration",
+            DispatchKind::ThreadMove => "thread_move",
+            DispatchKind::ObjectPull => "object_pull",
+            DispatchKind::SharedMemory => "shared_memory",
+        }
+    }
+
+    /// All kinds, in label order.
+    pub const ALL: &'static [DispatchKind] = &[
+        DispatchKind::LocalInline,
+        DispatchKind::ReplicaRead,
+        DispatchKind::Rpc,
+        DispatchKind::Migration,
+        DispatchKind::Remigration,
+        DispatchKind::ThreadMove,
+        DispatchKind::ObjectPull,
+        DispatchKind::SharedMemory,
+    ];
+}
+
+/// Per-call-site dispatch counters: how many invocations each source frame
+/// resolved to each mechanism. The call site is identified by the invoking
+/// frame's label (the static name of the activation that issued the
+/// `Invoke`), which is the granularity at which the paper's annotations are
+/// placed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    by_site: BTreeMap<(&'static str, DispatchKind), u64>,
+}
+
+impl DispatchStats {
+    /// Record one dispatch decision made at `site`.
+    pub fn record(&mut self, site: &'static str, kind: DispatchKind) {
+        *self.by_site.entry((site, kind)).or_insert(0) += 1;
+    }
+
+    /// Total dispatches of `kind` across all call sites.
+    pub fn count(&self, kind: DispatchKind) -> u64 {
+        self.by_site
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Dispatches of `kind` from one call site.
+    pub fn site_count(&self, site: &'static str, kind: DispatchKind) -> u64 {
+        self.by_site.get(&(site, kind)).copied().unwrap_or(0)
+    }
+
+    /// All `(site, kind, count)` rows in deterministic order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, DispatchKind, u64)> + '_ {
+        self.by_site
+            .iter()
+            .map(|(&(site, kind), &n)| (site, kind, n))
+    }
+
+    /// Total dispatches recorded.
+    pub fn total(&self) -> u64 {
+        self.by_site.values().sum()
+    }
 }
 
 /// A complete experiment configuration — one row of the paper's tables.
@@ -179,7 +277,9 @@ impl Scheme {
             Scheme::computation_migration(),
             Scheme::computation_migration().with_hardware(),
             Scheme::computation_migration().with_replication(),
-            Scheme::computation_migration().with_replication().with_hardware(),
+            Scheme::computation_migration()
+                .with_replication()
+                .with_hardware(),
         ]
     }
 
@@ -252,9 +352,6 @@ mod tests {
         assert!(!Scheme::rpc().migration);
         // Both are message passing; SM is not.
         assert_eq!(Scheme::rpc().access, DataAccess::MessagePassing);
-        assert_eq!(
-            Scheme::shared_memory().access,
-            DataAccess::SharedMemory
-        );
+        assert_eq!(Scheme::shared_memory().access, DataAccess::SharedMemory);
     }
 }

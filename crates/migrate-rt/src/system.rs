@@ -18,14 +18,16 @@ use proteus::coherence::Access;
 use proteus::engine::{Engine, Simulation};
 use proteus::event::EventQueue;
 use proteus::stats::{CycleAccounting, Histogram};
+use proteus::trace::{TraceEvent, Tracer};
 use proteus::{
     CacheConfig, CoherenceCosts, CoherenceSystem, Cycles, Network, NetworkConfig, ProcId,
     Processor, ProcessorStats,
 };
 
 use crate::cost::{categories as cat, CostModel};
+use crate::error::RuntimeError;
 use crate::frame::{Frame, Invoke, StepCtx, StepResult};
-use crate::mechanism::{Annotation, DataAccess, Scheme};
+use crate::mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 use crate::message::{Message, MessageKind, Payload};
 use crate::object::{Behavior, MethodEnv, ObjectTable};
 use crate::rng::SplitMix64;
@@ -55,6 +57,12 @@ pub struct MachineConfig {
     pub replica_update_words: u64,
     /// Override the scheme-derived cost model (ablation studies).
     pub cost_override: Option<CostModel>,
+    /// Cycle-accounting audit mode: cross-check, for every executed task,
+    /// that the processor-busy duration equals the cycles charged to busy
+    /// accounting categories, and at metrics extraction that every charged
+    /// cycle belongs to a registered [`cat::ALL`] category. Costs nothing
+    /// when off; when on, [`System::metrics`] panics on any discrepancy.
+    pub audit: bool,
 }
 
 impl MachineConfig {
@@ -72,6 +80,7 @@ impl MachineConfig {
             replica_procs: Vec::new(),
             replica_update_words: 16,
             cost_override: None,
+            audit: false,
         }
     }
 }
@@ -192,6 +201,35 @@ struct DetachedFrame {
     reply_to: ProcId,
 }
 
+/// Per-processor utilization figures for one measurement window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcWindowStats {
+    /// Processor index.
+    pub proc: u32,
+    /// Fraction of the window the processor spent busy.
+    pub utilization: f64,
+    /// Busy cycles in the window.
+    pub busy_cycles: u64,
+    /// Tasks served in the window.
+    pub tasks_served: u64,
+    /// Deepest run queue observed in the window.
+    pub max_queue_depth: usize,
+}
+
+/// Result of the cycle-accounting audit (see [`MachineConfig::audit`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Tasks whose busy duration was cross-checked against charges.
+    pub tasks_checked: u64,
+    /// Total cycles charged across all categories in the window.
+    pub grand_total: u64,
+    /// Cycles charged to processor-busy categories (everything except
+    /// network transit).
+    pub busy_total: u64,
+    /// Cycles charged to [`cat::NETWORK_TRANSIT`].
+    pub transit_total: u64,
+}
+
 /// Metrics extracted from the measurement window of a run.
 #[derive(Clone, Debug)]
 pub struct RunMetrics {
@@ -224,6 +262,16 @@ pub struct RunMetrics {
     pub migration_accounting: CycleAccounting,
     /// Message counts by kind.
     pub message_kinds: HashMap<MessageKind, u64>,
+    /// Per-call-site mechanism-dispatch counters for the window.
+    pub dispatch: DispatchStats,
+    /// Per-processor utilization/queue statistics for the window.
+    pub per_proc: Vec<ProcWindowStats>,
+    /// Audit result (`Some` exactly when [`MachineConfig::audit`] is set;
+    /// extraction panics instead of returning a failed audit).
+    pub audit: Option<AuditSummary>,
+    /// Runtime protocol errors recorded since the system was built (not
+    /// reset per window — any nonzero value deserves attention).
+    pub runtime_errors: u64,
 }
 
 /// The machine + runtime state. Implements [`Simulation`] so a
@@ -248,6 +296,15 @@ pub struct System {
     op_latency: Histogram,
     msg_counts: HashMap<MessageKind, u64>,
     window_start: Cycles,
+    dispatch: DispatchStats,
+    tracer: Tracer,
+    /// Monotone count of cycles charged to busy (non-transit) categories;
+    /// the audit compares per-task deltas of this against execute()'s
+    /// returned busy duration, so window resets don't disturb it.
+    busy_charged: u64,
+    audit_tasks: u64,
+    audit_violations: Vec<String>,
+    runtime_errors: Vec<RuntimeError>,
 }
 
 impl System {
@@ -281,8 +338,36 @@ impl System {
             op_latency: Histogram::new(100, 4096),
             msg_counts: HashMap::new(),
             window_start: Cycles::ZERO,
+            dispatch: DispatchStats::default(),
+            tracer: Tracer::disabled(),
+            busy_charged: 0,
+            audit_tasks: 0,
+            audit_violations: Vec::new(),
+            runtime_errors: Vec::new(),
             cfg,
         }
+    }
+
+    /// Attach a tracer to the whole machine: runtime dispatch decisions,
+    /// network sends, processor occupancy, and coherence misses all record
+    /// through (clones of) the same handle.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.net.set_tracer(tracer.clone());
+        self.coherence.set_tracer(tracer.clone());
+        for p in &mut self.procs {
+            p.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Per-call-site mechanism-dispatch counters for the current window.
+    pub fn dispatch_stats(&self) -> &DispatchStats {
+        &self.dispatch
+    }
+
+    /// Protocol errors recorded since the system was built.
+    pub fn runtime_errors(&self) -> &[RuntimeError] {
+        &self.runtime_errors
     }
 
     /// The configuration in force.
@@ -371,6 +456,54 @@ impl System {
         self.ops_completed = 0;
         self.op_latency = Histogram::new(100, 4096);
         self.msg_counts.clear();
+        self.dispatch = DispatchStats::default();
+        self.audit_tasks = 0;
+        self.audit_violations.clear();
+    }
+
+    /// Cross-check the window's cycle accounting (see
+    /// [`MachineConfig::audit`]): every per-task busy duration matched its
+    /// charges, every charged category is registered in [`cat::ALL`], the
+    /// grand total equals the sum over registered categories, and the
+    /// migration accounting is a sub-accounting of the full one.
+    pub fn audit(&self) -> Result<AuditSummary, String> {
+        if let Some(v) = self.audit_violations.first() {
+            return Err(format!(
+                "{} task(s) with unattributed busy cycles; first: {v}",
+                self.audit_violations.len()
+            ));
+        }
+        let mut registered_total = 0u64;
+        for (category, total) in self.acct.totals() {
+            if !cat::ALL.contains(&category) {
+                return Err(format!(
+                    "category {category:?} charged but not registered in categories::ALL"
+                ));
+            }
+            registered_total += total;
+        }
+        if registered_total != self.acct.grand_total() {
+            return Err(format!(
+                "grand total {} != sum over registered categories {registered_total}",
+                self.acct.grand_total()
+            ));
+        }
+        for (category, total) in self.migration_acct.totals() {
+            if self.acct.total(category) < total {
+                return Err(format!(
+                    "migration accounting charges {total} cycles of {category:?} \
+                     but the full accounting only has {}",
+                    self.acct.total(category)
+                ));
+            }
+        }
+        let transit_total = self.acct.total(cat::NETWORK_TRANSIT);
+        Ok(AuditSummary {
+            tasks_checked: self.audit_tasks,
+            grand_total: self.acct.grand_total(),
+            busy_total: self.acct.grand_total() - transit_total,
+            transit_total,
+        })
     }
 
     /// Extract metrics for a window that ended at `now`.
@@ -383,6 +516,24 @@ impl System {
             .iter()
             .map(|p| p.utilization(window))
             .fold(0.0f64, f64::max);
+        let per_proc = self
+            .procs
+            .iter()
+            .map(|p| {
+                let s = p.stats();
+                ProcWindowStats {
+                    proc: p.id().0,
+                    utilization: p.utilization(window),
+                    busy_cycles: s.busy_cycles,
+                    tasks_served: s.tasks_served,
+                    max_queue_depth: s.max_queue_depth,
+                }
+            })
+            .collect();
+        let audit = self
+            .cfg
+            .audit
+            .then(|| self.audit().expect("cycle-accounting audit failed"));
         RunMetrics {
             window,
             ops: self.ops_completed,
@@ -402,6 +553,10 @@ impl System {
             accounting: self.acct.clone(),
             migration_accounting: self.migration_acct.clone(),
             message_kinds: self.msg_counts.clone(),
+            dispatch: self.dispatch.clone(),
+            per_proc,
+            audit,
+            runtime_errors: self.runtime_errors.len() as u64,
         }
     }
 
@@ -414,10 +569,61 @@ impl System {
         if self.migration_ctx {
             self.migration_acct.charge(category, cycles);
         }
+        // Network transit is wire time, not processor time; every other
+        // category must show up in some task's busy duration (audited per
+        // task in the Poll handler).
+        if category != cat::NETWORK_TRANSIT {
+            self.busy_charged += cycles.get();
+        }
     }
 
     fn charge_user(&mut self, cycles: Cycles) {
         self.charge(cat::USER_CODE, cycles);
+    }
+
+    /// Record how an invocation issued from call site `site` was dispatched.
+    fn record_dispatch(
+        &mut self,
+        now: Cycles,
+        proc: ProcId,
+        site: &'static str,
+        kind: DispatchKind,
+    ) {
+        self.dispatch.record(site, kind);
+        self.tracer.emit_with(|| TraceEvent {
+            at: now,
+            source: "runtime",
+            kind: "dispatch",
+            proc: Some(proc),
+            detail: format!("site={site} mechanism={}", kind.label()),
+        });
+    }
+
+    /// Record a protocol error instead of aborting the simulation: the
+    /// offending task is dropped after its already-charged busy time, the
+    /// error is kept for [`System::runtime_errors`] / [`RunMetrics`], and
+    /// threads whose state the error orphans are terminated so the run
+    /// still quiesces.
+    fn record_runtime_error(&mut self, now: Cycles, error: RuntimeError) {
+        match error {
+            RuntimeError::EmptyMigration { thread, .. }
+            | RuntimeError::DetachedFrameSlept { thread, .. } => {
+                self.threads[thread.index()].status = ThreadStatus::Done;
+            }
+            // The group may be parked at another processor; leave it alone.
+            RuntimeError::UnknownDetachedGroup { .. } => {}
+        }
+        self.tracer.emit_with(|| TraceEvent {
+            at: now,
+            source: "runtime",
+            kind: "error",
+            proc: None,
+            detail: error.to_string(),
+        });
+        // Bounded: a malformed-message storm must not grow memory forever.
+        if self.runtime_errors.len() < 1024 {
+            self.runtime_errors.push(error);
+        }
     }
 
     /// Wire size of a payload in words: general-purpose RPC stubs marshal a
@@ -454,7 +660,7 @@ impl System {
             + self.cost.alloc_packet_send
             + self.cost.marshal(words)
             + self.cost.message_send;
-        let latency = self.net.send(src, dst, words);
+        let latency = self.net.send_at(send_time, src, dst, words);
         self.charge(cat::NETWORK_TRANSIT, latency);
         self.migration_ctx = was_migration_ctx;
         *self.msg_counts.entry(kind).or_insert(0) += 1;
@@ -551,7 +757,12 @@ impl System {
     /// Run a method on the *invoking* processor under cache-coherent shared
     /// memory: every field access is a metered coherence transaction, and
     /// the object lock serializes conflicting critical sections.
-    fn invoke_sm(&mut self, proc: ProcId, inv: &Invoke, logical_now: Cycles) -> (Cycles, Vec<Word>) {
+    fn invoke_sm(
+        &mut self,
+        proc: ProcId,
+        inv: &Invoke,
+        logical_now: Cycles,
+    ) -> (Cycles, Vec<Word>) {
         let entry = self.objects.entry(inv.target);
         let base = entry.base_addr;
         let size = entry.size_bytes;
@@ -633,6 +844,11 @@ impl System {
     ) -> Cycles {
         let t = tid.index();
         debug_assert_eq!(self.threads[t].home, proc, "thread stepped off-home");
+        // A task queued before the thread finished — or before the
+        // protocol-error path terminated it — must not revive it.
+        if self.threads[t].status == ThreadStatus::Done {
+            return acc;
+        }
         let mut frame = match self.threads[t].stack.pop() {
             Some(f) => f,
             None => return acc,
@@ -698,6 +914,12 @@ impl System {
                 }
                 StepResult::Invoke(inv) => match self.cfg.scheme.access {
                     DataAccess::SharedMemory => {
+                        self.record_dispatch(
+                            now + acc,
+                            proc,
+                            frame.label(),
+                            DispatchKind::SharedMemory,
+                        );
                         let (lat, results) = self.invoke_sm(proc, &inv, now + acc);
                         acc += lat;
                         frame.on_result(&results);
@@ -724,6 +946,12 @@ impl System {
                                 queue.schedule_at(now + acc + Cycles(200), Event::Wake(tid));
                                 return acc;
                             }
+                            self.record_dispatch(
+                                now + acc,
+                                proc,
+                                frame.label(),
+                                DispatchKind::LocalInline,
+                            );
                             let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
                             acc += lat;
                             frame.on_result(&results);
@@ -731,6 +959,12 @@ impl System {
                         }
                         // Pull the object here (Emerald-style); the frame
                         // re-issues the same invoke once it is installed.
+                        self.record_dispatch(
+                            now + acc,
+                            proc,
+                            frame.label(),
+                            DispatchKind::ObjectPull,
+                        );
                         self.threads[t].status = ThreadStatus::WaitingReply;
                         self.threads[t].stack.push(frame);
                         let payload = Payload::ObjectPull {
@@ -746,6 +980,12 @@ impl System {
                         acc += self.cost.locality_check;
                         let home = self.objects.home(inv.target);
                         if home == proc {
+                            self.record_dispatch(
+                                now + acc,
+                                proc,
+                                frame.label(),
+                                DispatchKind::LocalInline,
+                            );
                             let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
                             acc += lat;
                             frame.on_result(&results);
@@ -753,6 +993,12 @@ impl System {
                         }
                         // Move the whole thread to the data (§2.3): every
                         // activation ships; the thread is rehomed on arrival.
+                        self.record_dispatch(
+                            now + acc,
+                            proc,
+                            frame.label(),
+                            DispatchKind::ThreadMove,
+                        );
                         self.threads[t].status = ThreadStatus::Moving;
                         let mut frames = std::mem::take(&mut self.threads[t].stack);
                         frames.push(frame);
@@ -769,6 +1015,12 @@ impl System {
                         acc += self.cost.locality_check;
                         let home = self.objects.home(inv.target);
                         if home == proc || self.replica_readable(proc, &inv) {
+                            let kind = if home == proc {
+                                DispatchKind::LocalInline
+                            } else {
+                                DispatchKind::ReplicaRead
+                            };
+                            self.record_dispatch(now + acc, proc, frame.label(), kind);
                             let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
                             acc += lat;
                             frame.on_result(&results);
@@ -789,6 +1041,12 @@ impl System {
                             // The activation group leaves home; linkage
                             // (reply_to) lets its eventual return
                             // short-circuit back.
+                            self.record_dispatch(
+                                now + acc,
+                                proc,
+                                frame.label(),
+                                DispatchKind::Migration,
+                            );
                             self.threads[t].status = ThreadStatus::Detached;
                             let len = self.threads[t].stack.len();
                             let keep = (len + 1 - depth.min(len)).min(len);
@@ -803,6 +1061,7 @@ impl System {
                             acc += self.send_message(proc, home, payload, now + acc, queue);
                             return acc;
                         }
+                        self.record_dispatch(now + acc, proc, frame.label(), DispatchKind::Rpc);
                         self.threads[t].status = ThreadStatus::WaitingReply;
                         self.threads[t].stack.push(frame);
                         let payload = Payload::RpcRequest {
@@ -821,6 +1080,13 @@ impl System {
     /// Continue a detached (migrated) activation group at `proc`.
     /// `arriving` carries the linkage + pending invoke when the group has
     /// just arrived.
+    ///
+    /// A well-formed simulation never violates this function's protocol
+    /// invariants (a migration message carries at least one frame; a reply
+    /// for a detached activation finds its group parked here; detached
+    /// frames never sleep). Violations return `Err` with the busy cycles
+    /// already charged, so the caller can keep the processor accounting
+    /// consistent while recording the error instead of aborting the run.
     #[allow(clippy::too_many_arguments)]
     fn run_detached_slice(
         &mut self,
@@ -831,7 +1097,7 @@ impl System {
         deliver: Option<Vec<Word>>,
         mut acc: Cycles,
         queue: &mut EventQueue<Event>,
-    ) -> Cycles {
+    ) -> Result<Cycles, (Cycles, RuntimeError)> {
         let (mut lower, mut frame, reply_to) = match arriving {
             Some((reply_to, mut frames, inv)) => {
                 // The pending invoke runs here — that is the point of the
@@ -841,7 +1107,15 @@ impl System {
                     proc,
                     "migration arrived at wrong processor"
                 );
-                let mut frame = frames.pop().expect("migration carries frames");
+                let Some(mut frame) = frames.pop() else {
+                    return Err((
+                        acc,
+                        RuntimeError::EmptyMigration {
+                            thread: tid,
+                            at: proc,
+                        },
+                    ));
+                };
                 self.migration_ctx = true;
                 let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
                 self.migration_ctx = false;
@@ -850,12 +1124,25 @@ impl System {
                 (frames, frame, reply_to)
             }
             None => {
-                let mut d = self
-                    .detached
-                    .remove(&tid)
-                    .expect("detached frame group not found");
+                let Some(mut d) = self.detached.remove(&tid) else {
+                    return Err((
+                        acc,
+                        RuntimeError::UnknownDetachedGroup {
+                            thread: tid,
+                            at: proc,
+                        },
+                    ));
+                };
                 debug_assert_eq!(d.at, proc, "detached frames resumed off-site");
-                let mut frame = d.stack.pop().expect("detached group non-empty");
+                let Some(mut frame) = d.stack.pop() else {
+                    return Err((
+                        acc,
+                        RuntimeError::UnknownDetachedGroup {
+                            thread: tid,
+                            at: proc,
+                        },
+                    ));
+                };
                 if let Some(results) = deliver {
                     frame.on_result(&results);
                 }
@@ -887,7 +1174,15 @@ impl System {
                     frame = child;
                 }
                 StepResult::Sleep(_) => {
-                    panic!("detached frames cannot sleep (think time runs at the thread's home)")
+                    // Think time runs at the thread's home, never at a
+                    // migration target (the driver frame stays behind).
+                    return Err((
+                        acc,
+                        RuntimeError::DetachedFrameSlept {
+                            thread: tid,
+                            at: proc,
+                        },
+                    ));
                 }
                 StepResult::Return(vals) => match lower.pop() {
                     Some(mut parent) => {
@@ -909,12 +1204,12 @@ impl System {
                             results: vals,
                         };
                         acc += self.send_message(proc, reply_to, payload, now + acc, queue);
-                        return acc;
+                        return Ok(acc);
                     }
                 },
                 StepResult::Halt => {
                     self.threads[tid.index()].status = ThreadStatus::Done;
-                    return acc;
+                    return Ok(acc);
                 }
                 StepResult::Invoke(inv) => {
                     self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
@@ -926,6 +1221,12 @@ impl System {
                     );
                     let home = self.objects.home(inv.target);
                     if home == proc || self.replica_readable(proc, &inv) {
+                        let kind = if home == proc {
+                            DispatchKind::LocalInline
+                        } else {
+                            DispatchKind::ReplicaRead
+                        };
+                        self.record_dispatch(now + acc, proc, frame.label(), kind);
                         let (lat, results) = self.invoke_inline(proc, &inv, now + acc, queue);
                         acc += lat;
                         frame.on_result(&results);
@@ -938,6 +1239,12 @@ impl System {
                         // linkage along and leaving nothing behind ("destroy
                         // the original thread" on this processor). A group
                         // cannot split further once detached.
+                        self.record_dispatch(
+                            now + acc,
+                            proc,
+                            frame.label(),
+                            DispatchKind::Remigration,
+                        );
                         let mut frames = std::mem::take(&mut lower);
                         frames.push(frame);
                         let payload = Payload::Migration {
@@ -947,10 +1254,11 @@ impl System {
                             invoke: inv,
                         };
                         acc += self.send_message(proc, home, payload, now + acc, queue);
-                        return acc;
+                        return Ok(acc);
                     }
                     // RPC from the current location; the reply comes back
                     // here, where the group parks.
+                    self.record_dispatch(now + acc, proc, frame.label(), DispatchKind::Rpc);
                     let mut stack = std::mem::take(&mut lower);
                     stack.push(frame);
                     self.detached.insert(
@@ -967,7 +1275,7 @@ impl System {
                         invoke: inv,
                     };
                     acc += self.send_message(proc, home, payload, now + acc, queue);
-                    return acc;
+                    return Ok(acc);
                 }
             }
         }
@@ -1058,24 +1366,34 @@ impl System {
                 thread,
                 results,
                 completes_op,
-            } => self.run_thread_slice(now, proc, thread, Some((results, completes_op)), acc, queue),
-            Work::DeliverDetached { thread, results } => {
-                self.run_detached_slice(now, proc, thread, None, Some(results), acc, queue)
+            } => {
+                self.run_thread_slice(now, proc, thread, Some((results, completes_op)), acc, queue)
             }
+            Work::DeliverDetached { thread, results } => self
+                .run_detached_slice(now, proc, thread, None, Some(results), acc, queue)
+                .unwrap_or_else(|(busy, error)| {
+                    self.record_runtime_error(now + busy, error);
+                    busy
+                }),
             Work::MigrationArrive {
                 thread,
                 reply_to,
                 frames,
                 invoke,
-            } => self.run_detached_slice(
-                now,
-                proc,
-                thread,
-                Some((reply_to, frames, invoke)),
-                None,
-                acc,
-                queue,
-            ),
+            } => self
+                .run_detached_slice(
+                    now,
+                    proc,
+                    thread,
+                    Some((reply_to, frames, invoke)),
+                    None,
+                    acc,
+                    queue,
+                )
+                .unwrap_or_else(|(busy, error)| {
+                    self.record_runtime_error(now + busy, error);
+                    busy
+                }),
             Work::ServePull {
                 thread,
                 reply_to,
@@ -1141,6 +1459,14 @@ impl System {
 impl Simulation for System {
     type Event = Event;
 
+    fn event_label(event: &Event) -> &'static str {
+        match event {
+            Event::Arrive(..) => "arrive",
+            Event::Poll(_) => "poll",
+            Event::Wake(_) => "wake",
+        }
+    }
+
     fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::Arrive(dest, msg) => {
@@ -1192,7 +1518,8 @@ impl Simulation for System {
                         invoke,
                     } => QueuedTask {
                         recv: RecvCharge::Message {
-                            words: 2 + crate::message::frames_words(&frames)
+                            words: 2
+                                + crate::message::frames_words(&frames)
                                 + invoke.request_words(),
                             kind: MessageKind::Migration,
                             short: false,
@@ -1248,7 +1575,8 @@ impl Simulation for System {
                         invoke,
                     } => QueuedTask {
                         recv: RecvCharge::Message {
-                            words: 16 + crate::message::frames_words(&frames)
+                            words: 16
+                                + crate::message::frames_words(&frames)
                                 + invoke.request_words(),
                             kind: MessageKind::ThreadMove,
                             short: false,
@@ -1284,6 +1612,11 @@ impl Simulation for System {
                 self.ensure_poll(dest, now, queue);
             }
             Event::Wake(tid) => {
+                // A pending Wake must not resurrect a thread that finished —
+                // or was terminated by the protocol-error path — meanwhile.
+                if self.threads[tid.index()].status == ThreadStatus::Done {
+                    return;
+                }
                 let home = self.threads[tid.index()].home;
                 self.threads[tid.index()].status = ThreadStatus::Active;
                 self.procs[home.index()].enqueue(QueuedTask {
@@ -1295,7 +1628,20 @@ impl Simulation for System {
             Event::Poll(proc) => {
                 self.poll_pending[proc.index()] = false;
                 if let Some(task) = self.procs[proc.index()].take_ready(now) {
+                    let charged_before = self.busy_charged;
                     let dur = self.execute(now, proc, task, queue);
+                    if self.cfg.audit {
+                        // Every busy cycle of this task must have been
+                        // charged to exactly one accounting category.
+                        let attributed = self.busy_charged - charged_before;
+                        if dur.get() != attributed && self.audit_violations.len() < 16 {
+                            self.audit_violations.push(format!(
+                                "task on {proc:?} at {now:?}: busy {} != charged {attributed}",
+                                dur.get()
+                            ));
+                        }
+                        self.audit_tasks += 1;
+                    }
                     self.procs[proc.index()].occupy(now, dur.max(Cycles(1)));
                 }
                 if self.procs[proc.index()].queue_len() > 0 {
@@ -1377,11 +1723,19 @@ struct SmEnv<'a> {
 
 impl SmEnv<'_> {
     fn mem(&mut self, offset: u64, len: u64, kind: Access) {
-        debug_assert!(offset + len <= self.size, "field access out of object bounds");
+        debug_assert!(
+            offset + len <= self.size,
+            "field access out of object bounds"
+        );
         let at = self.logical_start + self.elapsed;
-        let out = self
-            .coherence
-            .access_range(self.proc, self.base + offset, len.max(1), kind, self.net, at);
+        let out = self.coherence.access_range(
+            self.proc,
+            self.base + offset,
+            len.max(1),
+            kind,
+            self.net,
+            at,
+        );
         self.elapsed += out.latency;
         self.mem_stall += out.latency;
     }
@@ -1476,6 +1830,12 @@ impl Runner {
             system: System::new(cfg),
             engine: Engine::new(),
         }
+    }
+
+    /// Attach a tracer to the engine and the whole machine.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.engine.set_tracer(tracer.clone());
+        self.system.set_tracer(tracer);
     }
 
     /// Spawn a thread at `home` with base activation `driver`, scheduled to
@@ -1682,9 +2042,14 @@ mod tests {
         let targets: Vec<Goid> = targets_on
             .iter()
             .map(|&p| {
-                runner
-                    .system
-                    .create_object(Box::new(Cell { value: 0, compute: 100 }), ProcId(p), false)
+                runner.system.create_object(
+                    Box::new(Cell {
+                        value: 0,
+                        compute: 100,
+                    }),
+                    ProcId(p),
+                    false,
+                )
             })
             .collect();
         runner.spawn(
@@ -1818,7 +2183,10 @@ mod tests {
             let cfg = MachineConfig::new(3, scheme);
             let mut runner = Runner::new(cfg);
             let t = runner.system.create_object(
-                Box::new(Cell { value: 0, compute: 100 }),
+                Box::new(Cell {
+                    value: 0,
+                    compute: 100,
+                }),
                 ProcId(2),
                 false,
             );
@@ -1854,7 +2222,10 @@ mod tests {
         let cfg = MachineConfig::new(3, Scheme::shared_memory());
         let mut runner = Runner::new(cfg);
         let t = runner.system.create_object(
-            Box::new(Cell { value: 0, compute: 500 }),
+            Box::new(Cell {
+                value: 0,
+                compute: 500,
+            }),
             ProcId(2),
             false,
         );
@@ -1931,7 +2302,13 @@ mod tests {
                 2
             }
         }
-        runner.spawn(ProcId(0), Box::new(OneShot { target: t, fired: false }));
+        runner.spawn(
+            ProcId(0),
+            Box::new(OneShot {
+                target: t,
+                fired: false,
+            }),
+        );
         let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
         assert_eq!(m.ops, 1);
         assert_eq!(m.messages, 0, "replica read must stay local");
@@ -1966,7 +2343,13 @@ mod tests {
                 2
             }
         }
-        runner.spawn(ProcId(0), Box::new(WriteOnce { target: t, state: 0 }));
+        runner.spawn(
+            ProcId(0),
+            Box::new(WriteOnce {
+                target: t,
+                state: 0,
+            }),
+        );
         let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
         assert_eq!(m.message_kinds[&MessageKind::ReplicaUpdate], 3);
     }
@@ -1992,7 +2375,9 @@ mod tests {
     fn hw_support_improves_cm_throughput() {
         let go = |scheme| {
             let (mut runner, _) = build(scheme, 4, &[1, 2, 3], Annotation::Migrate, 1, 1000);
-            runner.run(Cycles(10_000), Cycles(500_000)).throughput_per_1000
+            runner
+                .run(Cycles(10_000), Cycles(500_000))
+                .throughput_per_1000
         };
         let sw = go(Scheme::computation_migration());
         let hw = go(Scheme::computation_migration().with_hardware());
@@ -2034,7 +2419,10 @@ mod tests {
             let cfg = MachineConfig::new(2, Scheme::rpc());
             let mut runner = Runner::new(cfg);
             let t = runner.system.create_object(
-                Box::new(Cell { value: 0, compute: 100 }),
+                Box::new(Cell {
+                    value: 0,
+                    compute: 100,
+                }),
                 ProcId(1),
                 false,
             );
@@ -2049,11 +2437,16 @@ mod tests {
                     thinking: false,
                 }),
             );
-            runner.run(Cycles(10_000), Cycles(500_000)).throughput_per_1000
+            runner
+                .run(Cycles(10_000), Cycles(500_000))
+                .throughput_per_1000
         };
         let fast = go(0);
         let slow = go(10_000);
-        assert!(fast > 2.0 * slow, "think time must throttle: {fast} vs {slow}");
+        assert!(
+            fast > 2.0 * slow,
+            "think time must throttle: {fast} vs {slow}"
+        );
     }
 
     // ------------------------------------------------------------------
@@ -2065,14 +2458,8 @@ mod tests {
     fn object_migration_pulls_object_and_goes_local() {
         // 3 accesses to one remote object under OM: one pull + one move,
         // then everything is local. The object's home follows the thread.
-        let (mut runner, targets) = build(
-            Scheme::object_migration(),
-            2,
-            &[1],
-            Annotation::Rpc,
-            3,
-            1,
-        );
+        let (mut runner, targets) =
+            build(Scheme::object_migration(), 2, &[1], Annotation::Rpc, 3, 1);
         let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
         assert_eq!(m.ops, 1);
         assert_eq!(m.message_kinds[&MessageKind::ObjectPull], 1);
@@ -2091,7 +2478,10 @@ mod tests {
         let cfg = MachineConfig::new(3, Scheme::object_migration());
         let mut runner = Runner::new(cfg);
         let t = runner.system.create_object(
-            Box::new(Cell { value: 0, compute: 100 }),
+            Box::new(Cell {
+                value: 0,
+                compute: 100,
+            }),
             ProcId(2),
             false,
         );
@@ -2147,14 +2537,7 @@ mod tests {
     fn thread_migration_repeat_ops_start_from_last_home() {
         // After an op ends at the data, the next op starts there: a second
         // identical op is fully local (locality of the coarsest kind).
-        let (mut runner, _) = build(
-            Scheme::thread_migration(),
-            2,
-            &[1],
-            Annotation::Rpc,
-            2,
-            3,
-        );
+        let (mut runner, _) = build(Scheme::thread_migration(), 2, &[1], Annotation::Rpc, 2, 3);
         let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
         assert_eq!(m.ops, 3);
         // Only the very first access moves the thread; the rest are local.
@@ -2177,11 +2560,7 @@ mod tests {
                     // Move the whole group (just this frame so far) to the
                     // first target.
                     self.phase = 1;
-                    StepResult::Invoke(Invoke::migrate_all(
-                        self.targets[0],
-                        MethodId(0),
-                        vec![],
-                    ))
+                    StepResult::Invoke(Invoke::migrate_all(self.targets[0], MethodId(0), vec![]))
                 }
                 1 => {
                     // While migrated: call a child that works on the second
@@ -2265,12 +2644,18 @@ mod tests {
         let cfg = MachineConfig::new(3, Scheme::computation_migration());
         let mut runner = Runner::new(cfg);
         let a = runner.system.create_object(
-            Box::new(Cell { value: 0, compute: 80 }),
+            Box::new(Cell {
+                value: 0,
+                compute: 80,
+            }),
             ProcId(1),
             false,
         );
         let b = runner.system.create_object(
-            Box::new(Cell { value: 0, compute: 80 }),
+            Box::new(Cell {
+                value: 0,
+                compute: 80,
+            }),
             ProcId(2),
             false,
         );
@@ -2320,5 +2705,135 @@ mod tests {
         assert!(m.ops > 0);
         let expected = m.throughput_per_1000 * 100_000.0 / 1000.0;
         assert!((m.ops as f64 - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn dispatch_stats_attribute_mechanisms_to_call_sites() {
+        // The Figure-1 chain: 3 remote items, Migrate annotation → every
+        // invocation dispatched as a migration, all from the "chain-op" site.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            4,
+            &[1, 2, 3],
+            Annotation::Migrate,
+            1,
+            2,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        // Per op: one initial migration off the home, then two re-migrations
+        // from the already-detached frame. All from the "chain-op" site.
+        assert_eq!(m.dispatch.count(DispatchKind::Migration), 2);
+        assert_eq!(m.dispatch.count(DispatchKind::Remigration), 4);
+        assert_eq!(
+            m.dispatch.count(DispatchKind::Migration) + m.dispatch.count(DispatchKind::Remigration),
+            m.migrations
+        );
+        assert_eq!(
+            m.dispatch.site_count("chain-op", DispatchKind::Migration),
+            2
+        );
+        assert_eq!(
+            m.dispatch.site_count("chain-op", DispatchKind::Remigration),
+            4
+        );
+        assert_eq!(m.dispatch.count(DispatchKind::Rpc), 0);
+        // Same program under RPC: the dispatch table shifts wholesale.
+        let (mut runner, _) = build(Scheme::rpc(), 4, &[1, 2, 3], Annotation::Migrate, 1, 2);
+        let m = runner.run(Cycles::ZERO, Cycles(1_000_000));
+        assert_eq!(m.dispatch.count(DispatchKind::Migration), 0);
+        assert_eq!(m.dispatch.site_count("chain-op", DispatchKind::Rpc), 6);
+    }
+
+    #[test]
+    fn audit_mode_populates_summary() {
+        let mut cfg = MachineConfig::new(4, Scheme::computation_migration());
+        cfg.audit = true;
+        let mut runner = Runner::new(cfg);
+        let targets: Vec<Goid> = (1..4)
+            .map(|p| {
+                runner.system.create_object(
+                    Box::new(Cell {
+                        value: 0,
+                        compute: 100,
+                    }),
+                    ProcId(p),
+                    false,
+                )
+            })
+            .collect();
+        runner.spawn(
+            ProcId(0),
+            Box::new(TestDriver {
+                targets,
+                annotation: Annotation::Migrate,
+                repeats: 2,
+                think: Cycles::ZERO,
+                ops_remaining: 5,
+                thinking: false,
+            }),
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(2_000_000));
+        let audit = m.audit.expect("audit requested");
+        assert!(audit.tasks_checked > 0);
+        assert_eq!(audit.grand_total, audit.busy_total + audit.transit_total);
+        assert_eq!(audit.grand_total, m.accounting.grand_total());
+    }
+
+    #[test]
+    fn malformed_migration_is_recorded_not_fatal() {
+        // A Migration message with no frames is a protocol violation; the
+        // runtime must drop it, record the error, and keep the run alive.
+        let (mut runner, targets) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::Migrate,
+            1,
+            1,
+        );
+        let victim = runner.spawn(
+            ProcId(0),
+            Box::new(TestDriver {
+                targets: targets.clone(),
+                annotation: Annotation::Migrate,
+                repeats: 1,
+                think: Cycles(500_000),
+                ops_remaining: 1,
+                thinking: false,
+            }),
+        );
+        runner.engine.queue_mut().schedule_at(
+            Cycles(10),
+            Event::Arrive(
+                ProcId(1),
+                Message {
+                    src: ProcId(0),
+                    payload: Payload::Migration {
+                        thread: victim,
+                        reply_to: ProcId(0),
+                        frames: Vec::new(),
+                        invoke: Invoke::rpc(targets[0], MethodId(0), vec![]),
+                    },
+                },
+            ),
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(2_000_000));
+        assert_eq!(m.runtime_errors, 1);
+        assert!(matches!(
+            runner.system.runtime_errors()[0],
+            RuntimeError::EmptyMigration { thread, at: ProcId(1) } if thread == victim
+        ));
+        // The healthy thread's operation still completed and the machine
+        // quiesced (the orphaned thread was terminated).
+        assert_eq!(m.ops, 1);
+        assert_eq!(
+            runner
+                .system
+                .objects()
+                .state::<Cell>(targets[0])
+                .unwrap()
+                .value,
+            1
+        );
     }
 }

@@ -20,6 +20,7 @@ use crate::ids::ProcId;
 use crate::network::Network;
 use crate::stats::CacheStats;
 use crate::time::Cycles;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Build a global shared-memory address: `home` in the high bits, byte
 /// `offset` (< 2^32) within that node's memory in the low bits.
@@ -144,6 +145,7 @@ pub struct CoherenceSystem {
     line_bytes: u64,
     words_per_line: u64,
     stats: ProtocolStats,
+    tracer: Tracer,
 }
 
 impl CoherenceSystem {
@@ -164,7 +166,15 @@ impl CoherenceSystem {
             line_bytes,
             words_per_line,
             stats: ProtocolStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer. One event is recorded per *missing* line access
+    /// (hits are far too numerous to trace and are already counted in
+    /// [`CacheStats`](crate::stats::CacheStats)).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Line-granular address containing `addr`.
@@ -218,6 +228,17 @@ impl CoherenceSystem {
         let start = at.max(free);
         let wait = start - at;
         self.busy_until.insert(line, start + out.latency);
+        self.tracer.emit_with(|| TraceEvent {
+            at,
+            source: "coherence",
+            kind: "miss",
+            proc: Some(proc),
+            detail: format!(
+                "line={line} op={kind:?} wait={} latency={}",
+                wait.get(),
+                out.latency.get()
+            ),
+        });
         AccessOutcome {
             latency: wait + out.latency,
             hit: false,
@@ -306,7 +327,12 @@ impl CoherenceSystem {
         let home = self.home_of_line(line);
         let entry = self.directory.entry(line).or_default();
         let owner = entry.owner;
-        let sharers: Vec<ProcId> = entry.sharers.iter().copied().filter(|&s| s != proc).collect();
+        let sharers: Vec<ProcId> = entry
+            .sharers
+            .iter()
+            .copied()
+            .filter(|&s| s != proc)
+            .collect();
         // Exclusive request to home (1 word: address).
         let mut latency = net.send(proc, home, 1) + self.costs.directory;
         if let Some(o) = owner.filter(|&o| o != proc) {
@@ -333,8 +359,8 @@ impl CoherenceSystem {
             if sharers.len() > self.costs.hw_sharer_limit {
                 let overflow = (sharers.len() - self.costs.hw_sharer_limit) as u64;
                 self.stats.limitless_traps += 1;
-                inval_wait += self.costs.limitless_trap
-                    + self.costs.limitless_per_sharer * overflow;
+                inval_wait +=
+                    self.costs.limitless_trap + self.costs.limitless_per_sharer * overflow;
             }
             latency += inval_wait;
             // An upgrade (requester already holds the line Shared) gets an
@@ -535,8 +561,14 @@ mod tests {
         assert_eq!(sys.stats().owner_forwards, 1);
         sys.check_invariants().unwrap();
         // Both now share read access.
-        assert!(sys.access(ProcId(1), a, Access::Read, &mut net, Cycles::ZERO).hit);
-        assert!(sys.access(ProcId(2), a, Access::Read, &mut net, Cycles::ZERO).hit);
+        assert!(
+            sys.access(ProcId(1), a, Access::Read, &mut net, Cycles::ZERO)
+                .hit
+        );
+        assert!(
+            sys.access(ProcId(2), a, Access::Read, &mut net, Cycles::ZERO)
+                .hit
+        );
     }
 
     #[test]
@@ -546,8 +578,14 @@ mod tests {
         sys.access(ProcId(0), a, Access::Write, &mut net, Cycles::ZERO);
         sys.access(ProcId(1), a, Access::Write, &mut net, Cycles::ZERO);
         sys.check_invariants().unwrap();
-        assert!(sys.access(ProcId(1), a, Access::Write, &mut net, Cycles::ZERO).hit);
-        assert!(!sys.access(ProcId(0), a, Access::Write, &mut net, Cycles::ZERO).hit);
+        assert!(
+            sys.access(ProcId(1), a, Access::Write, &mut net, Cycles::ZERO)
+                .hit
+        );
+        assert!(
+            !sys.access(ProcId(0), a, Access::Write, &mut net, Cycles::ZERO)
+                .hit
+        );
     }
 
     #[test]
@@ -596,6 +634,9 @@ mod tests {
         sys.access(ProcId(0), a, Access::Read, &mut net, Cycles::ZERO);
         sys.reset_stats();
         assert_eq!(sys.aggregate_cache_stats().misses, 0);
-        assert!(sys.access(ProcId(0), a, Access::Read, &mut net, Cycles::ZERO).hit);
+        assert!(
+            sys.access(ProcId(0), a, Access::Read, &mut net, Cycles::ZERO)
+                .hit
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::event::EventQueue;
 use crate::time::Cycles;
+use crate::trace::{TraceEvent, Tracer};
 
 /// A simulation: state plus an event handler. The engine owns the clock and
 /// the queue; the handler schedules follow-on events.
@@ -11,6 +12,13 @@ pub trait Simulation {
 
     /// Handle one event at time `now`, scheduling any follow-on events.
     fn handle(&mut self, now: Cycles, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Short label for an event, used by the engine's trace hook. The
+    /// default collapses the whole alphabet into one label; simulations
+    /// with an attached tracer should override it.
+    fn event_label(_event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Why a run stopped.
@@ -40,6 +48,7 @@ pub struct Engine<S: Simulation> {
     queue: EventQueue<S::Event>,
     /// Safety valve: maximum events per `run_until` call.
     pub event_limit: u64,
+    tracer: Tracer,
 }
 
 impl<S: Simulation> Default for Engine<S> {
@@ -54,12 +63,18 @@ impl<S: Simulation> Engine<S> {
         Engine {
             queue: EventQueue::new(),
             event_limit: u64::MAX,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The event queue, for seeding initial events.
     pub fn queue_mut(&mut self) -> &mut EventQueue<S::Event> {
         &mut self.queue
+    }
+
+    /// Attach a tracer; every dispatched event is recorded through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current simulated time.
@@ -86,7 +101,7 @@ impl<S: Simulation> Engine<S> {
                         reason: StopReason::Horizon,
                         ended_at: horizon,
                         events,
-                    }
+                    };
                 }
                 Some(_) => {}
             }
@@ -98,6 +113,13 @@ impl<S: Simulation> Engine<S> {
                 };
             }
             let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.tracer.emit_with(|| TraceEvent {
+                at: now,
+                source: "engine",
+                kind: S::event_label(&ev),
+                proc: None,
+                detail: String::new(),
+            });
             sim.handle(now, ev, &mut self.queue);
             events += 1;
         }

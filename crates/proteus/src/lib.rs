@@ -34,6 +34,7 @@ pub mod processor;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use coherence::{Access, AccessOutcome, CoherenceCosts, CoherenceSystem};
@@ -45,3 +46,4 @@ pub use processor::{Processor, ProcessorStats};
 pub use stats::{CacheStats, CycleAccounting, Histogram, TrafficStats};
 pub use time::Cycles;
 pub use topology::Mesh;
+pub use trace::{JsonlSink, RingBufferSink, TraceEvent, TraceSink, Tracer};

@@ -9,6 +9,7 @@ use crate::ids::ProcId;
 use crate::stats::TrafficStats;
 use crate::time::Cycles;
 use crate::topology::Mesh;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Tunable network parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +39,7 @@ pub struct Network {
     mesh: Mesh,
     config: NetworkConfig,
     traffic: TrafficStats,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -47,7 +49,13 @@ impl Network {
             mesh: Mesh::for_processors(processors),
             config,
             traffic: TrafficStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; [`Network::send_at`] records one event per message.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The underlying mesh.
@@ -90,6 +98,28 @@ impl Network {
         let hops = self.hops(src, dst);
         self.traffic.record(words, hops);
         self.latency(src, dst)
+    }
+
+    /// [`Network::send`] plus a trace record stamped `at` — for callers that
+    /// know the simulated time (protocol-internal sends inside the coherence
+    /// model are summarised by its own `access` hook instead).
+    pub fn send_at(&mut self, at: Cycles, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
+        let latency = self.send(src, dst, payload_words);
+        if src != dst {
+            self.tracer.emit_with(|| TraceEvent {
+                at,
+                source: "network",
+                kind: "send",
+                proc: Some(src),
+                detail: format!(
+                    "dst={} words={} latency={}",
+                    dst.0,
+                    self.config.header_words + payload_words,
+                    latency.get()
+                ),
+            });
+        }
+        latency
     }
 
     /// Traffic accumulated so far.
@@ -150,7 +180,10 @@ mod tests {
         let n = net();
         for a in 0..25u32 {
             for b in 0..25u32 {
-                assert_eq!(n.latency(ProcId(a), ProcId(b)), n.latency(ProcId(b), ProcId(a)));
+                assert_eq!(
+                    n.latency(ProcId(a), ProcId(b)),
+                    n.latency(ProcId(b), ProcId(a))
+                );
             }
         }
     }

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use crate::ids::ProcId;
 use crate::time::Cycles;
+use crate::trace::{TraceEvent, Tracer};
 
 /// Utilization counters for one processor.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -30,6 +31,7 @@ pub struct Processor<T> {
     queue: VecDeque<T>,
     busy_until: Cycles,
     stats: ProcessorStats,
+    tracer: Tracer,
 }
 
 impl<T> Processor<T> {
@@ -40,7 +42,14 @@ impl<T> Processor<T> {
             queue: VecDeque::new(),
             busy_until: Cycles::ZERO,
             stats: ProcessorStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; [`Processor::occupy`] records one event per served
+    /// task.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This processor's id.
@@ -93,6 +102,13 @@ impl<T> Processor<T> {
         self.busy_until = start + duration;
         self.stats.busy_cycles += duration.get();
         self.stats.tasks_served += 1;
+        self.tracer.emit_with(|| TraceEvent {
+            at: start,
+            source: "processor",
+            kind: "occupy",
+            proc: Some(self.id),
+            detail: format!("busy={} queued={}", duration.get(), self.queue.len()),
+        });
         self.busy_until
     }
 

@@ -7,7 +7,9 @@
 
 use proptest::prelude::*;
 use proteus::coherence::{make_addr, Access};
-use proteus::{CacheConfig, CoherenceCosts, CoherenceSystem, Cycles, Network, NetworkConfig, ProcId};
+use proteus::{
+    CacheConfig, CoherenceCosts, CoherenceSystem, Cycles, Network, NetworkConfig, ProcId,
+};
 
 const PROCS: u32 = 6;
 

@@ -100,7 +100,10 @@ impl Frame for OneShot {
 
 fn run(m: u64, n: u32, annotation: Annotation) -> (u64, f64) {
     // m items on processors 1..=m; the thread on processor 0.
-    let mut runner = Runner::new(MachineConfig::new(m as u32 + 1, Scheme::computation_migration()));
+    let mut runner = Runner::new(MachineConfig::new(
+        m as u32 + 1,
+        Scheme::computation_migration(),
+    ));
     let items: Vec<_> = (1..=m)
         .map(|i| {
             runner
@@ -139,7 +142,10 @@ fn main() {
         let pattern = Pattern::new(m, u64::from(n));
         for (annotation, predicted) in [
             (Annotation::Rpc, pattern.rpc_messages()),
-            (Annotation::Migrate, pattern.computation_migration_messages()),
+            (
+                Annotation::Migrate,
+                pattern.computation_migration_messages(),
+            ),
         ] {
             let (expected, messages) = run(m, n, annotation);
             println!(

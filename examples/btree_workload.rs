@@ -23,7 +23,9 @@ fn main() {
         Scheme::rpc(),
         Scheme::computation_migration(),
         Scheme::computation_migration().with_replication(),
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
         Scheme::shared_memory(),
     ];
 

@@ -42,7 +42,9 @@ fn btree_replays_identically() {
     for scheme in [
         Scheme::shared_memory(),
         Scheme::rpc().with_replication(),
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     ] {
         let run = || {
             let exp = BTreeExperiment {

@@ -76,11 +76,7 @@ fn counting_network_counts_under_both_extensions() {
             "{}: all tokens exited",
             scheme.label()
         );
-        assert!(
-            has_step_property(&counts),
-            "{}: {counts:?}",
-            scheme.label()
-        );
+        assert!(has_step_property(&counts), "{}: {counts:?}", scheme.label());
     }
 }
 

@@ -107,7 +107,9 @@ fn btree_table1_ordering_holds() {
     let cp_r = btree(0, Scheme::computation_migration().with_replication());
     let cp_rh = btree(
         0,
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     );
     // SM wins overall (automatic replication in the caches).
     assert!(sm.throughput_per_1000 > cp_rh.throughput_per_1000);
@@ -163,10 +165,15 @@ fn btree_think_time_brings_sm_and_cm_together() {
     let sm = btree(10_000, Scheme::shared_memory());
     let cp = btree(
         10_000,
-        Scheme::computation_migration().with_replication().with_hardware(),
+        Scheme::computation_migration()
+            .with_replication()
+            .with_hardware(),
     );
     let ratio = cp.throughput_per_1000 / sm.throughput_per_1000;
-    assert!((0.75..1.35).contains(&ratio), "CP/SM at think 10000: {ratio}");
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "CP/SM at think 10000: {ratio}"
+    );
     assert!(sm.bandwidth_words_per_10 > 4.0 * cp.bandwidth_words_per_10);
 }
 
@@ -177,8 +184,9 @@ fn btree_fanout10_lifts_cm_with_replication() {
     // SM gap narrows.
     let wide = BTreeExperiment::paper(0, Scheme::computation_migration().with_replication())
         .run(Cycles(150_000), Cycles(500_000));
-    let narrow = BTreeExperiment::paper_fanout10(0, Scheme::computation_migration().with_replication())
-        .run(Cycles(150_000), Cycles(500_000));
+    let narrow =
+        BTreeExperiment::paper_fanout10(0, Scheme::computation_migration().with_replication())
+            .run(Cycles(150_000), Cycles(500_000));
     assert!(
         narrow.throughput_per_1000 > 1.2 * wide.throughput_per_1000,
         "fanout10 {} vs fanout100 {}",

@@ -38,7 +38,10 @@ fn step_property_under_computation_migration() {
         let counts = drained_counts(requesters, 25, Scheme::computation_migration());
         let total: u64 = counts.iter().sum();
         assert_eq!(total, u64::from(requesters) * 25, "all tokens exited");
-        assert!(has_step_property(&counts), "{requesters} threads: {counts:?}");
+        assert!(
+            has_step_property(&counts),
+            "{requesters} threads: {counts:?}"
+        );
     }
 }
 
