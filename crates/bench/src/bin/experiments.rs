@@ -1,14 +1,19 @@
 //! Regenerate every table and figure of the paper from fresh simulations.
 //!
 //! ```text
-//! experiments [fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|all]
-//!             [--json <path>]
+//! experiments [fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|all|faults]
+//!             [--json <path>] [--faults <seed>]
 //! ```
 //!
 //! With no argument (or `all`) everything runs; output is the paper's
 //! artifacts side by side with the published numbers, in EXPERIMENTS.md
-//! format. With `--json <path>` the same runs are also written to `<path>`
-//! as a machine-readable document:
+//! format. `--faults <seed>` additionally runs both applications under the
+//! deterministic chaos fault plan (`proteus::FaultPlan::chaos(seed)`) and
+//! emits a `fault_sweep` artifact alongside whatever the positional target
+//! selects; given `--faults` with no positional target, only the sweep
+//! runs. The fault-free artifacts are byte-identical whether or not
+//! `--faults` is passed (CI checks this). With `--json <path>` the same
+//! runs are also written to `<path>` as a machine-readable document:
 //!
 //! ```text
 //! {"schema_version":1,"artifacts":{"fig1":...,"fig2":...,...}}
@@ -22,7 +27,7 @@ use bench::{
 use migrate_model::{figure1, Pattern};
 use migrate_rt::Scheme;
 
-const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions] [--json <path>]";
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults] [--json <path>] [--faults <seed>]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +43,31 @@ fn main() {
         }
         None => None,
     };
-    let arg = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let faults_seed = match args.iter().position(|a| a == "--faults") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--faults requires a seed\n{USAGE}");
+                std::process::exit(2);
+            }
+            let seed = args.remove(i + 1);
+            args.remove(i);
+            match seed.parse::<u64>() {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    eprintln!("--faults seed must be an integer, got {seed:?}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let arg = args.first().cloned().unwrap_or_else(|| {
+        if faults_seed.is_some() {
+            "faults".to_string()
+        } else {
+            "all".to_string()
+        }
+    });
     let known = [
         "all",
         "fig1",
@@ -51,6 +80,7 @@ fn main() {
         "table5",
         "fanout10",
         "extensions",
+        "faults",
     ];
     if !known.contains(&arg.as_str()) || args.len() > 1 {
         eprintln!("unknown arguments {args:?}\n{USAGE}");
@@ -80,6 +110,9 @@ fn main() {
     if all || arg == "extensions" {
         extensions(&mut emit);
     }
+    if arg == "faults" || faults_seed.is_some() {
+        faults(faults_seed.unwrap_or(0), &mut emit);
+    }
     if let Some(path) = json_path {
         let doc = obj(vec![
             ("schema_version", Json::Int(1)),
@@ -94,6 +127,30 @@ fn main() {
 }
 
 type Emit<'a> = &'a mut dyn FnMut(&str, Json);
+
+fn faults(seed: u64, emit: Emit) {
+    println!("== Fault sweep: deterministic chaos plan, seed {seed} ==");
+    println!("(drops, duplicates, delays, stalls, crash-restarts; recovery via");
+    println!(" acks + timeout/retry, migrations degrade to RPC on exhaustion)\n");
+    let rows = bench::fault_sweep(seed);
+    print!("{}", render_rows("measured under faults:", &rows));
+    for row in &rows {
+        if let Some(r) = &row.metrics.recovery {
+            println!(
+                "  {}: retries {}  dup-suppressed {}  rpc-fallbacks {}  lost {}",
+                row.label, r.retries, r.duplicates_suppressed, r.fallbacks, r.messages_lost
+            );
+        }
+    }
+    println!();
+    emit(
+        "fault_sweep",
+        obj(vec![
+            ("seed", Json::Int(seed)),
+            ("rows", rows_to_json(&rows)),
+        ]),
+    );
+}
 
 fn extensions(emit: Emit) {
     println!("== Extensions: object migration (Emerald-style) and thread migration ==");

@@ -191,6 +191,56 @@ pub fn extension_rows(think: u64) -> (Vec<Row>, Vec<Row>) {
     (counting, btree)
 }
 
+/// One fault-injected counting-network run under `FaultPlan::chaos(seed)`.
+pub fn fault_cell_counting(seed: u64, scheme: Scheme) -> RunMetrics {
+    let mut exp = CountingExperiment::paper(8, 0, scheme);
+    exp.faults = Some(proteus::FaultPlan::chaos(seed));
+    exp.audit = true;
+    exp.run(Cycles(20_000), Cycles(60_000))
+}
+
+/// One fault-injected B-tree run under `FaultPlan::chaos(seed)` (small tree,
+/// few requesters: the point is protocol survival, not steady-state rates).
+pub fn fault_cell_btree(seed: u64, scheme: Scheme) -> RunMetrics {
+    let mut exp = BTreeExperiment::paper(0, scheme);
+    exp.initial_keys = 400;
+    exp.requesters = 6;
+    exp.faults = Some(proteus::FaultPlan::chaos(seed));
+    exp.audit = true;
+    exp.run(Cycles(30_000), Cycles(80_000))
+}
+
+/// The `--faults <seed>` sweep: both applications under RPC and computation
+/// migration with the chaos fault plan and the cycle audit on. Deterministic:
+/// the same seed yields identical metrics (and identical JSON) on every run.
+pub fn fault_sweep(seed: u64) -> Vec<Row> {
+    let schemes = [Scheme::rpc(), Scheme::computation_migration()];
+    let mut rows = Vec::new();
+    std::thread::scope(|scope| {
+        let ch: Vec<_> = schemes
+            .iter()
+            .map(|&s| scope.spawn(move || fault_cell_counting(seed, s)))
+            .collect();
+        let bh: Vec<_> = schemes
+            .iter()
+            .map(|&s| scope.spawn(move || fault_cell_btree(seed, s)))
+            .collect();
+        for (h, s) in ch.into_iter().zip(schemes) {
+            rows.push(Row {
+                label: format!("counting {}", s.label()),
+                metrics: h.join().expect("sim thread"),
+            });
+        }
+        for (h, s) in bh.into_iter().zip(schemes) {
+            rows.push(Row {
+                label: format!("btree {}", s.label()),
+                metrics: h.join().expect("sim thread"),
+            });
+        }
+    });
+    rows
+}
+
 /// One Table 5 line: category name and mean cycles per migration.
 #[derive(Clone, Debug)]
 pub struct BreakdownLine {
@@ -286,7 +336,7 @@ pub fn metrics_to_json(m: &RunMetrics) -> Json {
         ]),
         None => Json::Null,
     };
-    obj(vec![
+    let mut fields = vec![
         ("window_cycles", Json::Int(m.window.get())),
         ("ops", Json::Int(m.ops)),
         ("throughput_per_1000", Json::Num(m.throughput_per_1000)),
@@ -307,7 +357,47 @@ pub fn metrics_to_json(m: &RunMetrics) -> Json {
         ("per_proc", per_proc),
         ("audit", audit),
         ("runtime_errors", Json::Int(m.runtime_errors)),
-    ])
+    ];
+    // Fault-injection fields appear only when they carry information, so a
+    // fault-free run's JSON stays byte-identical to the pre-fault schema.
+    if !m.runtime_error_codes.is_empty() {
+        fields.push((
+            "runtime_error_codes",
+            Json::Obj(
+                m.runtime_error_codes
+                    .iter()
+                    .map(|(code, n)| (code.to_string(), Json::Int(*n)))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(r) = &m.recovery {
+        fields.push((
+            "recovery",
+            obj(vec![
+                ("acks_sent", Json::Int(r.acks_sent)),
+                ("retries", Json::Int(r.retries)),
+                ("duplicates_suppressed", Json::Int(r.duplicates_suppressed)),
+                ("fallbacks", Json::Int(r.fallbacks)),
+                ("frames_reclaimed", Json::Int(r.frames_reclaimed)),
+                ("messages_lost", Json::Int(r.messages_lost)),
+            ]),
+        ));
+    }
+    if let Some(f) = &m.faults {
+        fields.push((
+            "faults",
+            obj(vec![
+                ("decisions", Json::Int(f.decisions)),
+                ("drops", Json::Int(f.drops)),
+                ("duplicates", Json::Int(f.duplicates)),
+                ("delays", Json::Int(f.delays)),
+                ("stalls", Json::Int(f.stalls)),
+                ("crashes", Json::Int(f.crashes)),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// Serialize labeled rows (one table) to a JSON array.

@@ -538,6 +538,10 @@ pub struct BTreeExperiment {
     /// Enable the runtime's cycle-accounting audit (see
     /// `migrate_rt::MachineConfig::audit`).
     pub audit: bool,
+    /// Deterministic fault plan (`None` = perfect network, the default).
+    pub faults: Option<proteus::FaultPlan>,
+    /// Recovery-protocol tuning (only consulted when `faults` is set).
+    pub recovery: migrate_rt::RecoveryConfig,
 }
 
 impl BTreeExperiment {
@@ -559,6 +563,8 @@ impl BTreeExperiment {
             requests_per_thread: None,
             seed: 0xB7EE,
             audit: false,
+            faults: None,
+            recovery: migrate_rt::RecoveryConfig::default(),
         }
     }
 
@@ -578,6 +584,8 @@ impl BTreeExperiment {
         cfg.seed = self.seed;
         cfg.cost_override = self.cost_override.clone();
         cfg.audit = self.audit;
+        cfg.faults = self.faults.clone();
+        cfg.recovery = self.recovery.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -855,6 +863,8 @@ mod tests {
             requests_per_thread: None,
             seed: 42,
             audit: false,
+            faults: None,
+            recovery: migrate_rt::RecoveryConfig::default(),
         }
     }
 

@@ -522,6 +522,10 @@ pub struct CountingExperiment {
     /// Enable the runtime's cycle-accounting audit (see
     /// `migrate_rt::MachineConfig::audit`).
     pub audit: bool,
+    /// Deterministic fault plan (`None` = perfect network, the default).
+    pub faults: Option<proteus::FaultPlan>,
+    /// Recovery-protocol tuning (only consulted when `faults` is set).
+    pub recovery: migrate_rt::RecoveryConfig,
 }
 
 impl CountingExperiment {
@@ -541,6 +545,8 @@ impl CountingExperiment {
             coherence_override: None,
             seed: 0xC0DE,
             audit: false,
+            faults: None,
+            recovery: migrate_rt::RecoveryConfig::default(),
         }
     }
 
@@ -559,6 +565,8 @@ impl CountingExperiment {
         cfg.data_procs = (0..balancer_procs).map(ProcId).collect();
         cfg.cost_override = self.cost_override.clone();
         cfg.audit = self.audit;
+        cfg.faults = self.faults.clone();
+        cfg.recovery = self.recovery.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }

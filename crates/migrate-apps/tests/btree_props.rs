@@ -135,6 +135,8 @@ proptest! {
             requests_per_thread: None,
             seed,
             audit: true,
+            faults: None,
+            recovery: migrate_rt::RecoveryConfig::default(),
         };
         let (mut runner, root) = exp.build();
         runner.run_until(Cycles(1_500_000));

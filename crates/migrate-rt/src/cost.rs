@@ -62,6 +62,19 @@ pub mod categories {
     pub const MEMORY_STALL: &str = "memory_stall";
     /// Applying a software-replication update at a replica.
     pub const REPLICA_APPLY: &str = "replica_apply";
+    /// Receiver: checking an envelope's sequence number against the set of
+    /// already-delivered messages (fault-recovery duplicate suppression).
+    pub const RECOVERY_DEDUP: &str = "recovery.dedup_check";
+    /// Sender: running the retransmission-timeout handler for an unacked
+    /// envelope (fault recovery).
+    pub const RECOVERY_TIMEOUT: &str = "recovery.timeout_handler";
+    /// Sender: reclaiming buffered activation frames after a migration fell
+    /// back to RPC (fault recovery).
+    pub const RECOVERY_RECLAIM: &str = "recovery.frame_reclaim";
+    /// Injected transient processor stall (fault injection).
+    pub const FAULT_STALL: &str = "fault.stall";
+    /// Injected processor crash-restart outage (fault injection).
+    pub const FAULT_CRASH: &str = "fault.crash_restart";
 
     /// Every category the runtime may charge, in report order. The audit
     /// mode checks each charged category against this registry, so a new
@@ -88,6 +101,11 @@ pub mod categories {
         LOCK_STALL,
         MEMORY_STALL,
         REPLICA_APPLY,
+        RECOVERY_DEDUP,
+        RECOVERY_TIMEOUT,
+        RECOVERY_RECLAIM,
+        FAULT_STALL,
+        FAULT_CRASH,
     ];
 }
 
@@ -150,6 +168,16 @@ pub struct CostModel {
     pub rpc_stub_words: u64,
     /// Applying a replica update message at a receiving processor.
     pub replica_apply: Cycles,
+    /// Checking an arriving envelope's sequence number against the
+    /// delivered set (recovery protocol; only charged under fault
+    /// injection, and only for suppressed duplicates).
+    pub dedup_check: Cycles,
+    /// Running the retransmission-timeout handler for one unacked envelope
+    /// (recovery protocol; only charged under fault injection).
+    pub timeout_handler: Cycles,
+    /// Reclaiming the buffered frames of a migration that fell back to RPC
+    /// (recovery protocol; only charged under fault injection).
+    pub frame_reclaim: Cycles,
 }
 
 impl Default for CostModel {
@@ -175,6 +203,9 @@ impl Default for CostModel {
             rpc_dispatch: Cycles(600),
             rpc_stub_words: 16,
             replica_apply: Cycles(30),
+            dedup_check: Cycles(12),
+            timeout_handler: Cycles(24),
+            frame_reclaim: Cycles(60),
         }
     }
 }

@@ -9,13 +9,22 @@
 //! Debug builds still assert so model bugs surface loudly in tests; release
 //! runs surface the errors through `System::runtime_errors` and the metrics
 //! audit instead of tearing down a multi-minute experiment.
+//!
+//! Under fault injection (`MachineConfig::faults`) a second family of
+//! variants records *expected* recovery activity — duplicate deliveries
+//! suppressed, migrations that timed out and fell back to RPC, orphaned
+//! frames reclaimed — so a faulty run's JSON artifact names exactly what the
+//! recovery layer did. Each variant has a stable snake_case [`RuntimeError::code`]
+//! used as the JSON key.
 
 use proteus::ProcId;
 
 use crate::types::ThreadId;
 
-/// A protocol invariant violated by a runtime message.
+/// A protocol invariant violated by a runtime message, or a recovery action
+/// taken under fault injection.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// A `Migration` message arrived carrying no activation frames.
     EmptyMigration {
@@ -40,6 +49,55 @@ pub enum RuntimeError {
         /// Processor the detached group was running on.
         at: ProcId,
     },
+    /// The network rejected a send because it addressed a processor outside
+    /// the machine (see `proteus::SendError`). The message was not sent.
+    NetworkRejected {
+        /// Source of the rejected send.
+        src: ProcId,
+        /// Destination of the rejected send.
+        dst: ProcId,
+    },
+    /// A migration exhausted its retry budget and fell back to plain RPC at
+    /// the same call site.
+    MigrationTimeout {
+        /// The thread whose migration timed out.
+        thread: ThreadId,
+        /// The sending processor (where the fallback RPC was issued).
+        at: ProcId,
+    },
+    /// A duplicate delivery of an already-processed message was suppressed.
+    DuplicateDelivery {
+        /// Sequence number of the duplicated envelope.
+        seq: u64,
+        /// Processor that suppressed the duplicate.
+        at: ProcId,
+    },
+    /// Activation frames buffered for a timed-out migration were reclaimed
+    /// because their thread had already terminated.
+    FrameReclaimed {
+        /// The terminated thread the frames belonged to.
+        thread: ThreadId,
+        /// Processor the frames were reclaimed at.
+        at: ProcId,
+        /// Number of frames reclaimed.
+        frames: u64,
+    },
+}
+
+impl RuntimeError {
+    /// Stable snake_case identifier for this error, used as the key in JSON
+    /// artifacts. New variants must add a code here; codes never change.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuntimeError::EmptyMigration { .. } => "empty_migration",
+            RuntimeError::UnknownDetachedGroup { .. } => "unknown_detached_group",
+            RuntimeError::DetachedFrameSlept { .. } => "detached_frame_slept",
+            RuntimeError::NetworkRejected { .. } => "network_rejected",
+            RuntimeError::MigrationTimeout { .. } => "migration_timeout",
+            RuntimeError::DuplicateDelivery { .. } => "duplicate_delivery",
+            RuntimeError::FrameReclaimed { .. } => "frame_reclaimed",
+        }
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -61,8 +119,78 @@ impl std::fmt::Display for RuntimeError {
                      (think time runs at the thread's home)"
                 )
             }
+            RuntimeError::NetworkRejected { src, dst } => {
+                write!(f, "network rejected send {src:?} -> {dst:?}")
+            }
+            RuntimeError::MigrationTimeout { thread, at } => {
+                write!(
+                    f,
+                    "migration of {thread:?} from {at:?} exhausted retries; fell back to RPC"
+                )
+            }
+            RuntimeError::DuplicateDelivery { seq, at } => {
+                write!(
+                    f,
+                    "duplicate delivery of envelope #{seq} suppressed at {at:?}"
+                )
+            }
+            RuntimeError::FrameReclaimed { thread, at, frames } => {
+                write!(
+                    f,
+                    "{frames} orphaned frame(s) of terminated {thread:?} reclaimed at {at:?}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            RuntimeError::EmptyMigration {
+                thread: ThreadId(0),
+                at: ProcId(0),
+            },
+            RuntimeError::UnknownDetachedGroup {
+                thread: ThreadId(0),
+                at: ProcId(0),
+            },
+            RuntimeError::DetachedFrameSlept {
+                thread: ThreadId(0),
+                at: ProcId(0),
+            },
+            RuntimeError::NetworkRejected {
+                src: ProcId(0),
+                dst: ProcId(1),
+            },
+            RuntimeError::MigrationTimeout {
+                thread: ThreadId(0),
+                at: ProcId(0),
+            },
+            RuntimeError::DuplicateDelivery {
+                seq: 7,
+                at: ProcId(0),
+            },
+            RuntimeError::FrameReclaimed {
+                thread: ThreadId(0),
+                at: ProcId(0),
+                frames: 2,
+            },
+        ];
+        let codes: Vec<&str> = all.iter().map(RuntimeError::code).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes collide: {codes:?}");
+        for (e, code) in all.iter().zip(&codes) {
+            assert_eq!(*code, code.to_lowercase(), "not snake_case: {code}");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -88,5 +88,8 @@ pub use frame::{Frame, Invoke, StepCtx, StepResult};
 pub use mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 pub use message::{Message, MessageKind, Payload};
 pub use object::{Behavior, MethodEnv, ObjectEntry, ObjectTable};
-pub use system::{AuditSummary, Event, MachineConfig, ProcWindowStats, RunMetrics, Runner, System};
+pub use system::{
+    AuditSummary, Event, MachineConfig, ProcWindowStats, RecoveryConfig, RecoveryStats, RunMetrics,
+    Runner, System,
+};
 pub use types::{Goid, MethodId, ThreadId, Word};

@@ -74,6 +74,10 @@ pub enum DispatchKind {
     ObjectPull,
     /// Shared-memory execution through the coherence oracle.
     SharedMemory,
+    /// A migration that exhausted its retry budget under fault injection and
+    /// was re-issued as a plain RPC at the same call site (recovery
+    /// protocol's graceful degradation).
+    RpcFallback,
 }
 
 impl DispatchKind {
@@ -88,6 +92,7 @@ impl DispatchKind {
             DispatchKind::ThreadMove => "thread_move",
             DispatchKind::ObjectPull => "object_pull",
             DispatchKind::SharedMemory => "shared_memory",
+            DispatchKind::RpcFallback => "rpc_fallback",
         }
     }
 
@@ -101,6 +106,7 @@ impl DispatchKind {
         DispatchKind::ThreadMove,
         DispatchKind::ObjectPull,
         DispatchKind::SharedMemory,
+        DispatchKind::RpcFallback,
     ];
 }
 

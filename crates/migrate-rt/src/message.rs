@@ -101,6 +101,13 @@ pub enum Payload {
         /// Words of update payload carried.
         words: u64,
     },
+    /// Recovery protocol: acknowledge delivery of sequence-numbered envelope
+    /// `seq` so the sender can release its retransmission buffer. Only sent
+    /// when fault injection is enabled.
+    Ack {
+        /// The acknowledged envelope.
+        seq: u64,
+    },
 }
 
 impl Payload {
@@ -124,6 +131,7 @@ impl Payload {
             }
             Payload::OperationReturn { results, .. } => 1 + results.len() as u64,
             Payload::ReplicaUpdate { words, .. } => 1 + words,
+            Payload::Ack { .. } => 1,
         }
     }
 
@@ -138,6 +146,7 @@ impl Payload {
             Payload::ThreadMove { .. } => MessageKind::ThreadMove,
             Payload::OperationReturn { .. } => MessageKind::OperationReturn,
             Payload::ReplicaUpdate { .. } => MessageKind::ReplicaUpdate,
+            Payload::Ack { .. } => MessageKind::Ack,
         }
     }
 }
@@ -161,6 +170,8 @@ pub enum MessageKind {
     OperationReturn,
     /// Replica update broadcast.
     ReplicaUpdate,
+    /// Recovery-protocol delivery acknowledgement.
+    Ack,
 }
 
 /// A message in flight.
@@ -286,6 +297,13 @@ mod tests {
         };
         assert_eq!(r.words(), 2);
         assert_eq!(r.kind(), MessageKind::OperationReturn);
+    }
+
+    #[test]
+    fn ack_size() {
+        let p = Payload::Ack { seq: 12345 };
+        assert_eq!(p.words(), 1);
+        assert_eq!(p.kind(), MessageKind::Ack);
     }
 
     #[test]

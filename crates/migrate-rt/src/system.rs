@@ -12,11 +12,12 @@
 //!   migration-specific charges are additionally folded into a separate
 //!   accounting that regenerates Table 5 itself.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use proteus::coherence::Access;
 use proteus::engine::{Engine, Simulation};
 use proteus::event::EventQueue;
+use proteus::fault::{FaultInjector, FaultPlan, FaultStats};
 use proteus::stats::{CycleAccounting, Histogram};
 use proteus::trace::{TraceEvent, Tracer};
 use proteus::{
@@ -63,6 +64,65 @@ pub struct MachineConfig {
     /// cycle belongs to a registered [`cat::ALL`] category. Costs nothing
     /// when off; when on, [`System::metrics`] panics on any discrepancy.
     pub audit: bool,
+    /// Deterministic fault injection (`None` = fail-free, the default).
+    /// When set, every remote runtime message travels in a sequence-numbered
+    /// envelope under the ack/timeout/retry recovery protocol, and the plan
+    /// decides which messages are dropped, duplicated, delayed, or trigger
+    /// receiver stalls/crash-restarts. The fault-free path is untouched:
+    /// with `None` the runtime's behaviour is bit-identical to a build
+    /// without this feature.
+    pub faults: Option<FaultPlan>,
+    /// Recovery-protocol tuning (timeouts, backoff, retry budget). Ignored
+    /// unless [`MachineConfig::faults`] is set.
+    pub recovery: RecoveryConfig,
+}
+
+/// Tuning of the ack/timeout/retry recovery protocol (only active under
+/// fault injection).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Retransmission timeout for the first copy of an envelope. Chosen well
+    /// above one round-trip *plus service queueing*: the ack is sent when the
+    /// delivered task executes, not when the envelope lands, so tight
+    /// timeouts cause spurious (correct but wasteful) retransmissions.
+    pub base_timeout: Cycles,
+    /// Cap on the exponentially backed-off retransmission timeout.
+    pub backoff_cap: Cycles,
+    /// Send attempts a Migration envelope gets before the sender gives up
+    /// and degrades the call to plain RPC ([`DispatchKind::RpcFallback`]).
+    /// Non-migration envelopes retry indefinitely (with capped backoff) —
+    /// they are the fallback path, so they must eventually go through.
+    pub max_migration_attempts: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            base_timeout: Cycles(25_000),
+            backoff_cap: Cycles(200_000),
+            max_migration_attempts: 4,
+        }
+    }
+}
+
+/// Counters of recovery-protocol activity in a window (only collected under
+/// fault injection).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Delivery acknowledgements sent.
+    pub acks_sent: u64,
+    /// Envelope retransmissions after a timeout.
+    pub retries: u64,
+    /// Duplicate deliveries suppressed at a receiver.
+    pub duplicates_suppressed: u64,
+    /// Migrations that exhausted retries and fell back to RPC.
+    pub fallbacks: u64,
+    /// Activation frames reclaimed because their thread had terminated by
+    /// the time its migration gave up.
+    pub frames_reclaimed: u64,
+    /// Messages that never arrived (dropped by the plan, or lost to a
+    /// crashed receiver).
+    pub messages_lost: u64,
 }
 
 impl MachineConfig {
@@ -81,6 +141,8 @@ impl MachineConfig {
             replica_update_words: 16,
             cost_override: None,
             audit: false,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -93,6 +155,36 @@ pub enum Event {
     Poll(ProcId),
     /// A sleeping thread's think time expired.
     Wake(ThreadId),
+    /// A sequence-numbered envelope copy arrives (recovery protocol; the
+    /// payload stays buffered at the sender until acknowledged, so only the
+    /// metadata needed to charge the receive path travels in the event).
+    ArriveSeq {
+        /// Receiving processor.
+        dst: ProcId,
+        /// Sending processor.
+        src: ProcId,
+        /// Envelope sequence number.
+        seq: u64,
+        /// Wire words, for the receive-path charge.
+        words: u64,
+        /// Payload kind.
+        kind: MessageKind,
+        /// Whether the payload takes the short-method receive path.
+        short: bool,
+    },
+    /// A retransmission timer for envelope `seq` expired (stale once the
+    /// envelope is acknowledged).
+    Timeout(u64),
+    /// An injected processor disruption lands: a transient stall, or a
+    /// crash-restart that loses arriving messages for the duration.
+    Disrupt {
+        /// The disrupted processor.
+        proc: ProcId,
+        /// Length of the outage.
+        duration: Cycles,
+        /// Crash-restart (loses arrivals) vs. plain stall.
+        crash: bool,
+    },
 }
 
 enum RecvCharge {
@@ -158,11 +250,55 @@ enum Work {
     },
     /// Apply a software-replication update.
     ReplicaApply,
+    /// Suppress a duplicate delivery of envelope `seq` (recovery protocol).
+    DuplicateDrop { seq: u64 },
+    /// Apply a delivery acknowledgement: release the retransmission buffer.
+    AckApply { seq: u64 },
+    /// Retransmit (or give up on) unacked envelope `seq`.
+    Retransmit { seq: u64 },
+    /// Sit out an injected stall or crash-restart outage.
+    Outage { duration: Cycles, crash: bool },
+}
+
+/// Receipt the receive path must acknowledge back to the sender.
+#[derive(Copy, Clone)]
+struct AckTicket {
+    to: ProcId,
+    seq: u64,
 }
 
 struct QueuedTask {
     recv: RecvCharge,
     work: Work,
+    /// `Some` exactly when this task delivers (or re-delivers) a
+    /// sequence-numbered envelope: executing it sends the ack.
+    ack: Option<AckTicket>,
+}
+
+impl QueuedTask {
+    fn new(recv: RecvCharge, work: Work) -> QueuedTask {
+        QueuedTask {
+            recv,
+            work,
+            ack: None,
+        }
+    }
+}
+
+/// Sender-side retransmission buffer entry for one unacked envelope.
+struct InFlight {
+    src: ProcId,
+    dst: ProcId,
+    kind: MessageKind,
+    /// Wire words (receive-path charge uses the same figure).
+    words: u64,
+    /// Short-method receive path?
+    short: bool,
+    /// The buffered payload; taken by the first delivery, so a `Some` here
+    /// means no copy has been delivered yet.
+    payload: Option<Payload>,
+    /// Send attempts so far (1 = the original send).
+    attempt: u32,
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -272,6 +408,15 @@ pub struct RunMetrics {
     /// Runtime protocol errors recorded since the system was built (not
     /// reset per window — any nonzero value deserves attention).
     pub runtime_errors: u64,
+    /// Runtime-error counts by stable [`RuntimeError::code`], sorted by
+    /// code. Empty exactly when `runtime_errors` is zero.
+    pub runtime_error_codes: Vec<(&'static str, u64)>,
+    /// Recovery-protocol activity in the window (`Some` exactly when
+    /// [`MachineConfig::faults`] is set).
+    pub recovery: Option<RecoveryStats>,
+    /// Fault-injection decisions in the window (`Some` exactly when
+    /// [`MachineConfig::faults`] is set).
+    pub faults: Option<FaultStats>,
 }
 
 /// The machine + runtime state. Implements [`Simulation`] so a
@@ -305,6 +450,21 @@ pub struct System {
     audit_tasks: u64,
     audit_violations: Vec<String>,
     runtime_errors: Vec<RuntimeError>,
+    /// Fault injector (`Some` exactly when `cfg.faults` is set). Its absence
+    /// keeps the fault-free fast path bit-identical to the pre-fault runtime.
+    faults: Option<FaultInjector>,
+    /// Next envelope sequence number (global across processors; the *order*
+    /// of allocation is deterministic, so fault decisions replay exactly).
+    next_seq: u64,
+    /// Unacked envelopes, by sequence number.
+    in_flight: BTreeMap<u64, InFlight>,
+    /// Sequence numbers already delivered (or abandoned), for duplicate
+    /// suppression.
+    delivered_seqs: HashSet<u64>,
+    /// Per-processor crash-restart horizon: arrivals before this time are
+    /// lost.
+    crashed_until: Vec<Cycles>,
+    recovery: RecoveryStats,
 }
 
 impl System {
@@ -344,6 +504,12 @@ impl System {
             audit_tasks: 0,
             audit_violations: Vec::new(),
             runtime_errors: Vec::new(),
+            faults: cfg.faults.clone().map(FaultInjector::new),
+            next_seq: 0,
+            in_flight: BTreeMap::new(),
+            delivered_seqs: HashSet::new(),
+            crashed_until: vec![Cycles::ZERO; n as usize],
+            recovery: RecoveryStats::default(),
             cfg,
         }
     }
@@ -357,7 +523,21 @@ impl System {
         for p in &mut self.procs {
             p.set_tracer(tracer.clone());
         }
+        if let Some(f) = &mut self.faults {
+            f.set_tracer(tracer.clone());
+        }
         self.tracer = tracer;
+    }
+
+    /// Recovery-protocol activity since the window started.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Fault-injection decisions since the window started (`None` when fault
+    /// injection is off).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// Per-call-site mechanism-dispatch counters for the current window.
@@ -459,6 +639,12 @@ impl System {
         self.dispatch = DispatchStats::default();
         self.audit_tasks = 0;
         self.audit_violations.clear();
+        self.recovery = RecoveryStats::default();
+        if let Some(f) = &mut self.faults {
+            // Counters restart; the decision stream continues so the window
+            // replays identically whether or not a warm-up preceded it.
+            f.reset_stats();
+        }
     }
 
     /// Cross-check the window's cycle accounting (see
@@ -557,6 +743,15 @@ impl System {
             per_proc,
             audit,
             runtime_errors: self.runtime_errors.len() as u64,
+            runtime_error_codes: {
+                let mut by_code: BTreeMap<&'static str, u64> = BTreeMap::new();
+                for e in &self.runtime_errors {
+                    *by_code.entry(e.code()).or_insert(0) += 1;
+                }
+                by_code.into_iter().collect()
+            },
+            recovery: self.faults.as_ref().map(|_| self.recovery.clone()),
+            faults: self.faults.as_ref().map(|f| f.stats().clone()),
         }
     }
 
@@ -611,7 +806,9 @@ impl System {
                 self.threads[thread.index()].status = ThreadStatus::Done;
             }
             // The group may be parked at another processor; leave it alone.
-            RuntimeError::UnknownDetachedGroup { .. } => {}
+            // Recovery-family errors (timeouts, duplicates, reclamations,
+            // rejected sends) record activity the protocol already handled.
+            _ => {}
         }
         self.tracer.emit_with(|| TraceEvent {
             at: now,
@@ -636,18 +833,18 @@ impl System {
         payload.words() + extra
     }
 
-    /// Charge the sender-side overhead of a message and schedule its
-    /// arrival; returns the processor-busy overhead.
-    fn send_message(
+    /// Charge the sender-side costs of a message (Table 5 categories plus
+    /// network transit) and book the wire traffic. Returns
+    /// `(overhead, Some(latency))`, or `(overhead, None)` when the network
+    /// rejected the route (the error is recorded; nothing was sent).
+    fn charge_send(
         &mut self,
         src: ProcId,
         dst: ProcId,
-        payload: Payload,
+        kind: MessageKind,
+        words: u64,
         send_time: Cycles,
-        queue: &mut EventQueue<Event>,
-    ) -> Cycles {
-        let words = self.wire_words(&payload);
-        let kind = payload.kind();
+    ) -> (Cycles, Option<Cycles>) {
         let was_migration_ctx = self.migration_ctx;
         // Charges for a migration *message* always count toward Table 5,
         // wherever they happen.
@@ -660,9 +857,47 @@ impl System {
             + self.cost.alloc_packet_send
             + self.cost.marshal(words)
             + self.cost.message_send;
-        let latency = self.net.send_at(send_time, src, dst, words);
+        let latency = match self.net.send_at(send_time, src, dst, words) {
+            Ok(l) => l,
+            Err(_) => {
+                self.migration_ctx = was_migration_ctx;
+                self.record_runtime_error(send_time, RuntimeError::NetworkRejected { src, dst });
+                return (overhead, None);
+            }
+        };
         self.charge(cat::NETWORK_TRANSIT, latency);
         self.migration_ctx = was_migration_ctx;
+        (overhead, Some(latency))
+    }
+
+    /// Charge the sender-side overhead of a message and schedule its
+    /// arrival; returns the processor-busy overhead.
+    ///
+    /// Under fault injection every remote message rides a sequence-numbered
+    /// envelope through [`System::send_reliable`] (acks themselves are fired
+    /// and forgotten, but still subject to the fault plan). With faults off
+    /// this is the bit-exact pre-fault path.
+    fn send_message(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload: Payload,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        if self.faults.is_some() && src != dst {
+            return if payload.kind() == MessageKind::Ack {
+                self.send_ack_unreliable(src, dst, payload, send_time, queue)
+            } else {
+                self.send_reliable(src, dst, payload, send_time, queue)
+            };
+        }
+        let words = self.wire_words(&payload);
+        let kind = payload.kind();
+        let (overhead, latency) = self.charge_send(src, dst, kind, words, send_time);
+        let Some(latency) = latency else {
+            return overhead;
+        };
         *self.msg_counts.entry(kind).or_insert(0) += 1;
         if kind == MessageKind::Migration {
             self.migrations += 1;
@@ -671,6 +906,226 @@ impl System {
             send_time + overhead + latency,
             Event::Arrive(dst, Message { src, payload }),
         );
+        overhead
+    }
+
+    /// Receive-path short-method flag for a payload (mirrors the charges the
+    /// `Event::Arrive` handler makes on the fault-free path).
+    fn recv_short(payload: &Payload) -> bool {
+        match payload {
+            Payload::RpcRequest { invoke, .. } => invoke.short_method,
+            Payload::Migration { .. } | Payload::ThreadMove { .. } => false,
+            _ => true,
+        }
+    }
+
+    /// Send a payload in a sequence-numbered envelope: the payload stays in
+    /// the sender's retransmission buffer until acknowledged, and only
+    /// envelope metadata travels through the event queue, so drops and
+    /// duplicates are handled without cloning (unclonable) frames.
+    fn send_reliable(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload: Payload,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let words = self.wire_words(&payload);
+        let kind = payload.kind();
+        let (overhead, latency) = self.charge_send(src, dst, kind, words, send_time);
+        let Some(latency) = latency else {
+            return overhead;
+        };
+        *self.msg_counts.entry(kind).or_insert(0) += 1;
+        if kind == MessageKind::Migration {
+            self.migrations += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let short = System::recv_short(&payload);
+        self.in_flight.insert(
+            seq,
+            InFlight {
+                src,
+                dst,
+                kind,
+                words,
+                short,
+                payload: Some(payload),
+                attempt: 1,
+            },
+        );
+        self.launch_envelope(seq, send_time + overhead, latency, queue);
+        overhead
+    }
+
+    /// Retransmission timeout for send attempt `attempt` (exponential
+    /// backoff, capped).
+    fn rto(&self, attempt: u32) -> Cycles {
+        let shift = attempt.saturating_sub(1).min(16);
+        let backed_off = self
+            .cfg
+            .recovery
+            .base_timeout
+            .get()
+            .saturating_mul(1 << shift);
+        Cycles(backed_off.min(self.cfg.recovery.backoff_cap.get()))
+    }
+
+    /// Put one copy of envelope `seq` on the wire at `launch_time`: draw its
+    /// fault fate, schedule the surviving arrival(s) and any injected
+    /// disruption, and arm the retransmission timer.
+    fn launch_envelope(
+        &mut self,
+        seq: u64,
+        launch_time: Cycles,
+        latency: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let entry = self
+            .in_flight
+            .get(&seq)
+            .expect("launching unknown envelope");
+        let (src, dst, kind, words, short, attempt) = (
+            entry.src,
+            entry.dst,
+            entry.kind,
+            entry.words,
+            entry.short,
+            entry.attempt,
+        );
+        let fate = self
+            .faults
+            .as_mut()
+            .expect("reliable path requires an injector")
+            .fate(launch_time, src, dst);
+        if fate.dropped {
+            self.recovery.messages_lost += 1;
+        } else {
+            let arrive = launch_time + latency + fate.delay;
+            if let Some(d) = fate.crash {
+                queue.schedule_at(
+                    arrive,
+                    Event::Disrupt {
+                        proc: dst,
+                        duration: d,
+                        crash: true,
+                    },
+                );
+            } else if let Some(d) = fate.stall {
+                queue.schedule_at(
+                    arrive,
+                    Event::Disrupt {
+                        proc: dst,
+                        duration: d,
+                        crash: false,
+                    },
+                );
+            }
+            queue.schedule_at(
+                arrive,
+                Event::ArriveSeq {
+                    dst,
+                    src,
+                    seq,
+                    words,
+                    kind,
+                    short,
+                },
+            );
+            if let Some(extra) = fate.duplicate {
+                // The duplicate copy is real wire traffic and transit time.
+                if let Ok(lat2) = self.net.send_at(arrive, src, dst, words) {
+                    self.charge(cat::NETWORK_TRANSIT, lat2);
+                }
+                queue.schedule_at(
+                    arrive + extra,
+                    Event::ArriveSeq {
+                        dst,
+                        src,
+                        seq,
+                        words,
+                        kind,
+                        short,
+                    },
+                );
+            }
+        }
+        queue.schedule_at(launch_time + self.rto(attempt), Event::Timeout(seq));
+    }
+
+    /// Fire-and-forget ack send: charged like any message, subject to the
+    /// fault plan, but never buffered — a lost ack is recovered by the data
+    /// sender's retransmission (which the receiver dedups and re-acks).
+    fn send_ack_unreliable(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload: Payload,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let Payload::Ack { seq } = payload else {
+            unreachable!("send_ack_unreliable called with a non-ack payload");
+        };
+        let words = self.wire_words(&payload);
+        let (overhead, latency) = self.charge_send(src, dst, MessageKind::Ack, words, send_time);
+        let Some(latency) = latency else {
+            return overhead;
+        };
+        *self.msg_counts.entry(MessageKind::Ack).or_insert(0) += 1;
+        let fate = self
+            .faults
+            .as_mut()
+            .expect("ack path only runs under fault injection")
+            .fate(send_time, src, dst);
+        if fate.dropped {
+            self.recovery.messages_lost += 1;
+            return overhead;
+        }
+        let arrive = send_time + overhead + latency + fate.delay;
+        if let Some(d) = fate.crash {
+            queue.schedule_at(
+                arrive,
+                Event::Disrupt {
+                    proc: dst,
+                    duration: d,
+                    crash: true,
+                },
+            );
+        } else if let Some(d) = fate.stall {
+            queue.schedule_at(
+                arrive,
+                Event::Disrupt {
+                    proc: dst,
+                    duration: d,
+                    crash: false,
+                },
+            );
+        }
+        queue.schedule_at(
+            arrive,
+            Event::Arrive(
+                dst,
+                Message {
+                    src,
+                    payload: Payload::Ack { seq },
+                },
+            ),
+        );
+        if let Some(extra) = fate.duplicate {
+            queue.schedule_at(
+                arrive + extra,
+                Event::Arrive(
+                    dst,
+                    Message {
+                        src,
+                        payload: Payload::Ack { seq },
+                    },
+                ),
+            );
+        }
         overhead
     }
 
@@ -926,10 +1381,8 @@ impl System {
                         // Yield so lock windows interleave near the correct
                         // global time (DESIGN.md §6.2).
                         self.threads[t].stack.push(frame);
-                        self.procs[proc.index()].enqueue(QueuedTask {
-                            recv: RecvCharge::None,
-                            work: Work::Step(tid),
-                        });
+                        self.procs[proc.index()]
+                            .enqueue(QueuedTask::new(RecvCharge::None, Work::Step(tid)));
                         return acc;
                     }
                     DataAccess::ObjectMigration => {
@@ -1352,7 +1805,8 @@ impl System {
         task: QueuedTask,
         queue: &mut EventQueue<Event>,
     ) -> Cycles {
-        let acc = match task.recv {
+        let QueuedTask { recv, work, ack } = task;
+        let mut acc = match recv {
             RecvCharge::None => Cycles::ZERO,
             RecvCharge::Message { words, kind, short } => self.charge_recv(words, kind, short),
             RecvCharge::Replica => {
@@ -1360,7 +1814,19 @@ impl System {
                 self.cost.replica_apply
             }
         };
-        match task.work {
+        if let Some(ticket) = ack {
+            // Acknowledge the envelope as part of processing it, so the ack's
+            // send-side charges stay inside this task's busy window.
+            self.recovery.acks_sent += 1;
+            acc += self.send_message(
+                proc,
+                ticket.to,
+                Payload::Ack { seq: ticket.seq },
+                now + acc,
+                queue,
+            );
+        }
+        match work {
             Work::Step(tid) => self.run_thread_slice(now, proc, tid, None, acc, queue),
             Work::Deliver {
                 thread,
@@ -1443,6 +1909,323 @@ impl System {
                 total
             }
             Work::ReplicaApply => acc,
+            Work::DuplicateDrop { seq } => {
+                self.charge(cat::RECOVERY_DEDUP, self.cost.dedup_check);
+                self.recovery.duplicates_suppressed += 1;
+                self.record_runtime_error(
+                    now + acc,
+                    RuntimeError::DuplicateDelivery { seq, at: proc },
+                );
+                acc + self.cost.dedup_check
+            }
+            Work::AckApply { seq } => {
+                self.in_flight.remove(&seq);
+                acc
+            }
+            Work::Retransmit { seq } => self.retransmit(seq, now, proc, acc, queue),
+            Work::Outage { duration, crash } => {
+                // The injected disruption occupies the processor for its
+                // duration; charge it so the audit identity holds.
+                let category = if crash {
+                    cat::FAULT_CRASH
+                } else {
+                    cat::FAULT_STALL
+                };
+                self.charge(category, duration);
+                acc + duration
+            }
+        }
+    }
+
+    /// Handle a fired retransmission timer for envelope `seq`: either resend
+    /// it (with backoff) or — for a migration out of attempts — degrade to a
+    /// plain RPC at the same call site.
+    fn retransmit(
+        &mut self,
+        seq: u64,
+        now: Cycles,
+        proc: ProcId,
+        acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let Some(entry) = self.in_flight.get(&seq) else {
+            return acc; // acked between timer fire and task execution
+        };
+        let (src, dst, kind, words, attempt) =
+            (entry.src, entry.dst, entry.kind, entry.words, entry.attempt);
+        debug_assert_eq!(src, proc, "retransmit task ran off the sender");
+        self.charge(cat::RECOVERY_TIMEOUT, self.cost.timeout_handler);
+        let acc = acc + self.cost.timeout_handler;
+        if kind == MessageKind::Migration && attempt >= self.cfg.recovery.max_migration_attempts {
+            return self.fallback_to_rpc(seq, now, proc, acc, queue);
+        }
+        self.in_flight
+            .get_mut(&seq)
+            .expect("entry checked above")
+            .attempt = attempt + 1;
+        self.recovery.retries += 1;
+        let (overhead, latency) = self.charge_send(src, dst, kind, words, now + acc);
+        let acc = acc + overhead;
+        let Some(latency) = latency else {
+            return acc; // route rejected (recorded); the timer re-arms below anyway
+        };
+        *self.msg_counts.entry(kind).or_insert(0) += 1;
+        self.tracer.emit_with(|| TraceEvent {
+            at: now + acc,
+            source: "runtime",
+            kind: "retry",
+            proc: Some(proc),
+            detail: format!(
+                "seq={seq} attempt={} kind={kind:?} dst={}",
+                attempt + 1,
+                dst.index()
+            ),
+        });
+        self.launch_envelope(seq, now + acc, latency, queue);
+        acc
+    }
+
+    /// Graceful degradation: a migration envelope exhausted its retry
+    /// budget. Reclaim the buffered frames and re-issue the invocation as a
+    /// plain RPC from the sending processor (the mechanism downgrade the
+    /// paper's annotation semantics permit: performance, never semantics).
+    fn fallback_to_rpc(
+        &mut self,
+        seq: u64,
+        now: Cycles,
+        proc: ProcId,
+        acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let entry = self
+            .in_flight
+            .remove(&seq)
+            .expect("fallback on unknown envelope");
+        // The envelope is retired: any straggler copy still in flight must
+        // be treated as a duplicate, not re-executed.
+        self.delivered_seqs.insert(seq);
+        let Some(Payload::Migration {
+            thread,
+            reply_to,
+            frames,
+            invoke,
+        }) = entry.payload
+        else {
+            return acc; // tombstone — a copy was delivered after all
+        };
+        self.charge(cat::RECOVERY_RECLAIM, self.cost.frame_reclaim);
+        let acc = acc + self.cost.frame_reclaim;
+        self.recovery.fallbacks += 1;
+        self.record_runtime_error(
+            now + acc,
+            RuntimeError::MigrationTimeout { thread, at: proc },
+        );
+        let t = thread.index();
+        if self.threads[t].status == ThreadStatus::Done {
+            // The thread died while its frames were marooned in the
+            // retransmission buffer: reclaim them, nothing to re-issue.
+            let n = frames.len() as u64;
+            self.recovery.frames_reclaimed += n;
+            self.record_runtime_error(
+                now + acc,
+                RuntimeError::FrameReclaimed {
+                    thread,
+                    at: proc,
+                    frames: n,
+                },
+            );
+            return acc;
+        }
+        let site = frames.last().expect("migration carries frames").label();
+        self.record_dispatch(now + acc, proc, site, DispatchKind::RpcFallback);
+        let home = self.objects.home(invoke.target);
+        let mut acc = acc;
+        if reply_to == proc {
+            // First migration, leaving the thread's home: put the frames
+            // back on the home stack and wait for an RPC reply instead.
+            self.threads[t].stack.extend(frames);
+            self.threads[t].status = ThreadStatus::WaitingReply;
+            acc += self.send_message(
+                proc,
+                home,
+                Payload::RpcRequest {
+                    thread,
+                    reply_to: proc,
+                    invoke,
+                },
+                now + acc,
+                queue,
+            );
+        } else {
+            // Re-migration of an already-detached group: park the group
+            // here and route the reply back through the detached path.
+            self.detached.insert(
+                thread,
+                DetachedFrame {
+                    stack: frames,
+                    at: proc,
+                    reply_to,
+                },
+            );
+            acc += self.send_message(
+                proc,
+                home,
+                Payload::RpcRequest {
+                    thread,
+                    reply_to: proc,
+                    invoke,
+                },
+                now + acc,
+                queue,
+            );
+        }
+        acc
+    }
+
+    /// Build the receive-side task for a delivered payload. Shared between
+    /// the fault-free [`Event::Arrive`] path and the reliable-envelope
+    /// delivery path, so both charge identical receive costs.
+    fn task_for_payload(&self, dest: ProcId, src: ProcId, payload: Payload) -> QueuedTask {
+        match payload {
+            Payload::RpcRequest {
+                thread,
+                reply_to,
+                invoke,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 2 + invoke.request_words() + self.cost.rpc_stub_words,
+                    kind: MessageKind::RpcRequest,
+                    short: invoke.short_method,
+                },
+                Work::ServeRpc {
+                    thread,
+                    reply_to,
+                    invoke,
+                },
+            ),
+            Payload::RpcReply { thread, results } => {
+                let words = 1 + results.len() as u64 + self.cost.rpc_stub_words;
+                let detached_here = self
+                    .detached
+                    .get(&thread)
+                    .map(|d| d.at == dest)
+                    .unwrap_or(false);
+                QueuedTask::new(
+                    RecvCharge::Message {
+                        words,
+                        kind: MessageKind::RpcReply,
+                        short: true,
+                    },
+                    if detached_here {
+                        Work::DeliverDetached { thread, results }
+                    } else {
+                        Work::Deliver {
+                            thread,
+                            results,
+                            completes_op: false,
+                        }
+                    },
+                )
+            }
+            Payload::Migration {
+                thread,
+                reply_to,
+                frames,
+                invoke,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 2 + crate::message::frames_words(&frames) + invoke.request_words(),
+                    kind: MessageKind::Migration,
+                    short: false,
+                },
+                Work::MigrationArrive {
+                    thread,
+                    reply_to,
+                    frames,
+                    invoke,
+                },
+            ),
+            Payload::ObjectPull {
+                thread,
+                reply_to,
+                target,
+            } => QueuedTask::new(
+                // A self-addressed pull is a local retry (the object
+                // was in flight): no receive path to pay.
+                if src == dest {
+                    RecvCharge::None
+                } else {
+                    RecvCharge::Message {
+                        words: 3,
+                        kind: MessageKind::ObjectPull,
+                        short: true,
+                    }
+                },
+                Work::ServePull {
+                    thread,
+                    reply_to,
+                    target,
+                },
+            ),
+            Payload::ObjectMove {
+                thread,
+                target,
+                behavior,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 1 + behavior.size_bytes().div_ceil(8),
+                    kind: MessageKind::ObjectMove,
+                    short: true,
+                },
+                Work::InstallObject {
+                    thread,
+                    target,
+                    behavior,
+                },
+            ),
+            Payload::ThreadMove {
+                thread,
+                frames,
+                invoke,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 16 + crate::message::frames_words(&frames) + invoke.request_words(),
+                    kind: MessageKind::ThreadMove,
+                    short: false,
+                },
+                Work::ThreadArrive {
+                    thread,
+                    frames,
+                    invoke,
+                },
+            ),
+            Payload::OperationReturn {
+                thread,
+                completes_op,
+                results,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 1 + results.len() as u64,
+                    kind: MessageKind::OperationReturn,
+                    short: true,
+                },
+                Work::Deliver {
+                    thread,
+                    results,
+                    completes_op,
+                },
+            ),
+            Payload::ReplicaUpdate { .. } => {
+                QueuedTask::new(RecvCharge::Replica, Work::ReplicaApply)
+            }
+            Payload::Ack { seq } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 1,
+                    kind: MessageKind::Ack,
+                    short: true,
+                },
+                Work::AckApply { seq },
+            ),
         }
     }
 
@@ -1462,154 +2245,110 @@ impl Simulation for System {
     fn event_label(event: &Event) -> &'static str {
         match event {
             Event::Arrive(..) => "arrive",
+            Event::ArriveSeq { .. } => "arrive_seq",
             Event::Poll(_) => "poll",
             Event::Wake(_) => "wake",
+            Event::Timeout(_) => "timeout",
+            Event::Disrupt { .. } => "disrupt",
         }
     }
 
     fn handle(&mut self, now: Cycles, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::Arrive(dest, msg) => {
-                let task = match msg.payload {
-                    Payload::RpcRequest {
-                        thread,
-                        reply_to,
-                        invoke,
-                    } => QueuedTask {
-                        recv: RecvCharge::Message {
-                            words: 2 + invoke.request_words() + self.cost.rpc_stub_words,
-                            kind: MessageKind::RpcRequest,
-                            short: invoke.short_method,
-                        },
-                        work: Work::ServeRpc {
-                            thread,
-                            reply_to,
-                            invoke,
-                        },
-                    },
-                    Payload::RpcReply { thread, results } => {
-                        let words = 1 + results.len() as u64 + self.cost.rpc_stub_words;
-                        let detached_here = self
-                            .detached
-                            .get(&thread)
-                            .map(|d| d.at == dest)
-                            .unwrap_or(false);
-                        QueuedTask {
-                            recv: RecvCharge::Message {
-                                words,
-                                kind: MessageKind::RpcReply,
-                                short: true,
-                            },
-                            work: if detached_here {
-                                Work::DeliverDetached { thread, results }
-                            } else {
-                                Work::Deliver {
-                                    thread,
-                                    results,
-                                    completes_op: false,
-                                }
-                            },
-                        }
-                    }
-                    Payload::Migration {
-                        thread,
-                        reply_to,
-                        frames,
-                        invoke,
-                    } => QueuedTask {
-                        recv: RecvCharge::Message {
-                            words: 2
-                                + crate::message::frames_words(&frames)
-                                + invoke.request_words(),
-                            kind: MessageKind::Migration,
-                            short: false,
-                        },
-                        work: Work::MigrationArrive {
-                            thread,
-                            reply_to,
-                            frames,
-                            invoke,
-                        },
-                    },
-                    Payload::ObjectPull {
-                        thread,
-                        reply_to,
-                        target,
-                    } => QueuedTask {
-                        // A self-addressed pull is a local retry (the object
-                        // was in flight): no receive path to pay.
-                        recv: if msg.src == dest {
-                            RecvCharge::None
-                        } else {
-                            RecvCharge::Message {
-                                words: 3,
-                                kind: MessageKind::ObjectPull,
-                                short: true,
-                            }
-                        },
-                        work: Work::ServePull {
-                            thread,
-                            reply_to,
-                            target,
-                        },
-                    },
-                    Payload::ObjectMove {
-                        thread,
-                        target,
-                        behavior,
-                    } => QueuedTask {
-                        recv: RecvCharge::Message {
-                            words: 1 + behavior.size_bytes().div_ceil(8),
-                            kind: MessageKind::ObjectMove,
-                            short: true,
-                        },
-                        work: Work::InstallObject {
-                            thread,
-                            target,
-                            behavior,
-                        },
-                    },
-                    Payload::ThreadMove {
-                        thread,
-                        frames,
-                        invoke,
-                    } => QueuedTask {
-                        recv: RecvCharge::Message {
-                            words: 16
-                                + crate::message::frames_words(&frames)
-                                + invoke.request_words(),
-                            kind: MessageKind::ThreadMove,
-                            short: false,
-                        },
-                        work: Work::ThreadArrive {
-                            thread,
-                            frames,
-                            invoke,
-                        },
-                    },
-                    Payload::OperationReturn {
-                        thread,
-                        completes_op,
-                        results,
-                    } => QueuedTask {
-                        recv: RecvCharge::Message {
-                            words: 1 + results.len() as u64,
-                            kind: MessageKind::OperationReturn,
-                            short: true,
-                        },
-                        work: Work::Deliver {
-                            thread,
-                            results,
-                            completes_op,
-                        },
-                    },
-                    Payload::ReplicaUpdate { .. } => QueuedTask {
-                        recv: RecvCharge::Replica,
-                        work: Work::ReplicaApply,
-                    },
-                };
+                if self.faults.is_some()
+                    && msg.src != dest
+                    && now < self.crashed_until[dest.index()]
+                {
+                    // The destination is mid crash-restart: fire-and-forget
+                    // traffic (acks) arriving now is simply lost. Envelope
+                    // traffic never takes this path, and self-addressed
+                    // retries are local, not wire traffic.
+                    self.recovery.messages_lost += 1;
+                    self.tracer.emit_with(|| TraceEvent {
+                        at: now,
+                        source: "runtime",
+                        kind: "lost",
+                        proc: Some(dest),
+                        detail: format!("src={} (destination crashed)", msg.src.index()),
+                    });
+                    return;
+                }
+                let task = self.task_for_payload(dest, msg.src, msg.payload);
                 self.procs[dest.index()].enqueue(task);
                 self.ensure_poll(dest, now, queue);
+            }
+            Event::ArriveSeq {
+                dst,
+                src,
+                seq,
+                words,
+                kind,
+                short,
+            } => {
+                if now < self.crashed_until[dst.index()] {
+                    // Crash-restart swallowed this copy; the sender's
+                    // timeout will retransmit it.
+                    self.recovery.messages_lost += 1;
+                    self.tracer.emit_with(|| TraceEvent {
+                        at: now,
+                        source: "runtime",
+                        kind: "lost",
+                        proc: Some(dst),
+                        detail: format!("seq={seq} (destination crashed)"),
+                    });
+                    return;
+                }
+                let ticket = AckTicket { to: src, seq };
+                let mut task = if self.delivered_seqs.contains(&seq) {
+                    // Already processed (an injected duplicate, or a
+                    // retransmission racing its own ack): suppress, but
+                    // still charge the receive path and re-ack.
+                    QueuedTask::new(
+                        RecvCharge::Message { words, kind, short },
+                        Work::DuplicateDrop { seq },
+                    )
+                } else {
+                    match self.in_flight.get_mut(&seq).and_then(|e| e.payload.take()) {
+                        Some(payload) => {
+                            self.delivered_seqs.insert(seq);
+                            self.task_for_payload(dst, src, payload)
+                        }
+                        // Tombstoned entry (fallback already consumed the
+                        // payload) — treat like a duplicate.
+                        None => QueuedTask::new(
+                            RecvCharge::Message { words, kind, short },
+                            Work::DuplicateDrop { seq },
+                        ),
+                    }
+                };
+                task.ack = Some(ticket);
+                self.procs[dst.index()].enqueue(task);
+                self.ensure_poll(dst, now, queue);
+            }
+            Event::Timeout(seq) => {
+                let Some(entry) = self.in_flight.get(&seq) else {
+                    return; // acked meanwhile — stale timer
+                };
+                let src = entry.src;
+                self.procs[src.index()]
+                    .enqueue(QueuedTask::new(RecvCharge::None, Work::Retransmit { seq }));
+                self.ensure_poll(src, now, queue);
+            }
+            Event::Disrupt {
+                proc,
+                duration,
+                crash,
+            } => {
+                if crash {
+                    let until = (now + duration).max(self.crashed_until[proc.index()]);
+                    self.crashed_until[proc.index()] = until;
+                }
+                self.procs[proc.index()].enqueue(QueuedTask::new(
+                    RecvCharge::None,
+                    Work::Outage { duration, crash },
+                ));
+                self.ensure_poll(proc, now, queue);
             }
             Event::Wake(tid) => {
                 // A pending Wake must not resurrect a thread that finished —
@@ -1619,10 +2358,8 @@ impl Simulation for System {
                 }
                 let home = self.threads[tid.index()].home;
                 self.threads[tid.index()].status = ThreadStatus::Active;
-                self.procs[home.index()].enqueue(QueuedTask {
-                    recv: RecvCharge::None,
-                    work: Work::Step(tid),
-                });
+                self.procs[home.index()]
+                    .enqueue(QueuedTask::new(RecvCharge::None, Work::Step(tid)));
                 self.ensure_poll(home, now, queue);
             }
             Event::Poll(proc) => {

@@ -36,6 +36,14 @@ pub fn home_of_addr(addr: u64) -> ProcId {
     ProcId((addr >> 32) as u32)
 }
 
+/// Protocol-internal transfer. The directory only ever names processors of
+/// this machine, so a rejected route here is a model bug worth stopping on.
+#[inline]
+fn xfer(net: &mut Network, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
+    net.send(src, dst, payload_words)
+        .expect("coherence protocol addressed a processor outside the machine")
+}
+
 /// Kind of memory access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Access {
@@ -284,15 +292,15 @@ impl CoherenceSystem {
         let entry = self.directory.entry(line).or_default();
         let owner = entry.owner;
         // Request to home directory (1 word: address).
-        let mut latency = net.send(proc, home, 1) + self.costs.directory;
+        let mut latency = xfer(net, proc, home, 1) + self.costs.directory;
         match owner {
             Some(o) if o != proc => {
                 // Intervention: home forwards to owner; owner downgrades,
                 // sends data to requester and a sharing writeback home.
                 self.stats.owner_forwards += 1;
-                latency += net.send(home, o, 1) + self.costs.cache_op;
-                latency += net.send(o, proc, self.words_per_line);
-                net.send(o, home, self.words_per_line); // writeback, off critical path
+                latency += xfer(net, home, o, 1) + self.costs.cache_op;
+                latency += xfer(net, o, proc, self.words_per_line);
+                xfer(net, o, home, self.words_per_line); // writeback, off critical path
                 self.caches[o.index()].set_state(line, LineState::Shared);
                 let entry = self.directory.get_mut(&line).expect("entry exists");
                 entry.owner = None;
@@ -302,7 +310,7 @@ impl CoherenceSystem {
             _ => {
                 // Clean at home (or we were the stale "owner" after eviction):
                 // memory supplies the line.
-                latency += self.costs.memory + net.send(home, proc, self.words_per_line);
+                latency += self.costs.memory + xfer(net, home, proc, self.words_per_line);
                 let entry = self.directory.get_mut(&line).expect("entry exists");
                 entry.owner = None;
                 entry.sharers.insert(proc);
@@ -334,12 +342,12 @@ impl CoherenceSystem {
             .filter(|&s| s != proc)
             .collect();
         // Exclusive request to home (1 word: address).
-        let mut latency = net.send(proc, home, 1) + self.costs.directory;
+        let mut latency = xfer(net, proc, home, 1) + self.costs.directory;
         if let Some(o) = owner.filter(|&o| o != proc) {
             // Home forwards to the dirty owner; owner flushes to requester.
             self.stats.owner_forwards += 1;
-            latency += net.send(home, o, 1) + self.costs.cache_op;
-            latency += net.send(o, proc, self.words_per_line);
+            latency += xfer(net, home, o, 1) + self.costs.cache_op;
+            latency += xfer(net, o, proc, self.words_per_line);
             self.caches[o.index()].invalidate(line);
         } else {
             // Invalidate the sharers. Up to the LimitLESS hardware pointer
@@ -351,8 +359,8 @@ impl CoherenceSystem {
             let mut inval_wait = Cycles::ZERO;
             for s in &sharers {
                 self.stats.invalidations_sent += 1;
-                let there = net.send(home, *s, 1);
-                let back = net.send(*s, home, 1);
+                let there = xfer(net, home, *s, 1);
+                let back = xfer(net, *s, home, 1);
                 inval_wait = inval_wait.max(there + self.costs.cache_op + back);
                 self.caches[s.index()].invalidate(line);
             }
@@ -367,9 +375,9 @@ impl CoherenceSystem {
             // exclusivity ack, not a second copy of the data; only a true
             // miss reads memory and ships the line.
             if self.caches[proc.index()].probe(line).is_some() {
-                latency += net.send(home, proc, 1);
+                latency += xfer(net, home, proc, 1);
             } else {
-                latency += self.costs.memory + net.send(home, proc, self.words_per_line);
+                latency += self.costs.memory + xfer(net, home, proc, self.words_per_line);
             }
         }
         let entry = self.directory.get_mut(&line).expect("entry exists");
@@ -395,7 +403,7 @@ impl CoherenceSystem {
             }
             if ev.state == LineState::Modified {
                 self.stats.eviction_writebacks += 1;
-                net.send(proc, ev_home, self.words_per_line);
+                xfer(net, proc, ev_home, self.words_per_line);
             }
         }
     }

@@ -28,6 +28,7 @@ pub mod cache;
 pub mod coherence;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod network;
 pub mod processor;
@@ -40,8 +41,9 @@ pub use cache::{Cache, CacheConfig, LineState};
 pub use coherence::{Access, AccessOutcome, CoherenceCosts, CoherenceSystem};
 pub use engine::{Engine, RunOutcome, Simulation, StopReason};
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan, FaultStats, MessageFate};
 pub use ids::ProcId;
-pub use network::{Network, NetworkConfig};
+pub use network::{Network, NetworkConfig, SendError};
 pub use processor::{Processor, ProcessorStats};
 pub use stats::{CacheStats, CycleAccounting, Histogram, TrafficStats};
 pub use time::Cycles;

@@ -33,10 +33,53 @@ impl Default for NetworkConfig {
     }
 }
 
+/// A send addressed a processor the machine does not have.
+///
+/// The mesh is the most-square rectangle covering the processor count, so
+/// some mesh coordinates may exceed the machine (24 processors → 5×5 mesh);
+/// the check is against the *configured* processor count, not the mesh.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The source `ProcId` is ≥ the machine's processor count.
+    SrcOutOfRange {
+        /// The offending processor id.
+        proc: ProcId,
+        /// Processors the machine actually has.
+        processors: u32,
+    },
+    /// The destination `ProcId` is ≥ the machine's processor count.
+    DstOutOfRange {
+        /// The offending processor id.
+        proc: ProcId,
+        /// Processors the machine actually has.
+        processors: u32,
+    },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::SrcOutOfRange { proc, processors } => write!(
+                f,
+                "send source P{} out of range (machine has {} processors)",
+                proc.0, processors
+            ),
+            SendError::DstOutOfRange { proc, processors } => write!(
+                f,
+                "send destination P{} out of range (machine has {} processors)",
+                proc.0, processors
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
 /// The machine interconnect: topology + cost model + traffic accounting.
 #[derive(Clone, Debug)]
 pub struct Network {
     mesh: Mesh,
+    processors: u32,
     config: NetworkConfig,
     traffic: TrafficStats,
     tracer: Tracer,
@@ -47,10 +90,33 @@ impl Network {
     pub fn new(processors: u32, config: NetworkConfig) -> Network {
         Network {
             mesh: Mesh::for_processors(processors),
+            processors,
             config,
             traffic: TrafficStats::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The configured processor count (may be less than the mesh capacity).
+    pub fn processors(&self) -> u32 {
+        self.processors
+    }
+
+    /// Reject routes naming a processor the machine does not have.
+    fn check_route(&self, src: ProcId, dst: ProcId) -> Result<(), SendError> {
+        if src.0 >= self.processors {
+            return Err(SendError::SrcOutOfRange {
+                proc: src,
+                processors: self.processors,
+            });
+        }
+        if dst.0 >= self.processors {
+            return Err(SendError::DstOutOfRange {
+                proc: dst,
+                processors: self.processors,
+            });
+        }
+        Ok(())
     }
 
     /// Attach a tracer; [`Network::send_at`] records one event per message.
@@ -87,24 +153,39 @@ impl Network {
     /// payload, times hops) and returns the transit latency the caller should
     /// use to schedule the arrival event.
     ///
-    /// A message to self costs nothing and takes no time — the runtime checks
-    /// locality before invoking any remote mechanism, matching the paper's
-    /// "migration is conditional on the location of the computation".
-    pub fn send(&mut self, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
+    /// A message to self is *defined* to cost nothing and take no time (no
+    /// traffic is booked, `Ok(Cycles::ZERO)` is returned) — the runtime
+    /// checks locality before invoking any remote mechanism, matching the
+    /// paper's "migration is conditional on the location of the computation".
+    /// A route naming a processor outside the machine is rejected with a
+    /// typed [`SendError`] rather than a panic.
+    pub fn send(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload_words: u64,
+    ) -> Result<Cycles, SendError> {
+        self.check_route(src, dst)?;
         if src == dst {
-            return Cycles::ZERO;
+            return Ok(Cycles::ZERO);
         }
         let words = self.config.header_words + payload_words;
         let hops = self.hops(src, dst);
         self.traffic.record(words, hops);
-        self.latency(src, dst)
+        Ok(self.latency(src, dst))
     }
 
     /// [`Network::send`] plus a trace record stamped `at` — for callers that
     /// know the simulated time (protocol-internal sends inside the coherence
     /// model are summarised by its own `access` hook instead).
-    pub fn send_at(&mut self, at: Cycles, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
-        let latency = self.send(src, dst, payload_words);
+    pub fn send_at(
+        &mut self,
+        at: Cycles,
+        src: ProcId,
+        dst: ProcId,
+        payload_words: u64,
+    ) -> Result<Cycles, SendError> {
+        let latency = self.send(src, dst, payload_words)?;
         if src != dst {
             self.tracer.emit_with(|| TraceEvent {
                 at,
@@ -119,7 +200,7 @@ impl Network {
                 ),
             });
         }
-        latency
+        Ok(latency)
     }
 
     /// Traffic accumulated so far.
@@ -153,14 +234,14 @@ mod tests {
     #[test]
     fn self_send_is_free() {
         let mut n = net();
-        assert_eq!(n.send(ProcId(3), ProcId(3), 100), Cycles::ZERO);
+        assert_eq!(n.send(ProcId(3), ProcId(3), 100), Ok(Cycles::ZERO));
         assert_eq!(n.traffic().messages, 0);
     }
 
     #[test]
     fn send_books_header_plus_payload_times_hops() {
         let mut n = net();
-        let lat = n.send(ProcId(0), ProcId(2), 6); // 2 hops
+        let lat = n.send(ProcId(0), ProcId(2), 6).unwrap(); // 2 hops
         assert_eq!(lat, Cycles(12));
         assert_eq!(n.traffic().messages, 1);
         assert_eq!(n.traffic().words, 8);
@@ -170,9 +251,40 @@ mod tests {
     #[test]
     fn reset_traffic_clears_counters() {
         let mut n = net();
-        n.send(ProcId(0), ProcId(1), 4);
+        n.send(ProcId(0), ProcId(1), 4).unwrap();
         n.reset_traffic();
         assert_eq!(n.traffic(), &TrafficStats::default());
+    }
+
+    #[test]
+    fn out_of_range_routes_are_rejected_not_booked() {
+        // 24 processors sit on a 5×5 mesh: P24 has mesh coordinates but is
+        // outside the machine, so sends naming it must fail.
+        let mut n = Network::new(24, NetworkConfig::default());
+        assert_eq!(
+            n.send(ProcId(0), ProcId(24), 4),
+            Err(SendError::DstOutOfRange {
+                proc: ProcId(24),
+                processors: 24
+            })
+        );
+        assert_eq!(
+            n.send(ProcId(99), ProcId(0), 4),
+            Err(SendError::SrcOutOfRange {
+                proc: ProcId(99),
+                processors: 24
+            })
+        );
+        // Even a self-send to a nonexistent processor is rejected.
+        assert!(n.send(ProcId(30), ProcId(30), 0).is_err());
+        assert_eq!(n.traffic().messages, 0, "rejected sends book no traffic");
+        assert_eq!(
+            n.send_at(Cycles(5), ProcId(1), ProcId(25), 4),
+            Err(SendError::DstOutOfRange {
+                proc: ProcId(25),
+                processors: 24
+            })
+        );
     }
 
     #[test]
