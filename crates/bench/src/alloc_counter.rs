@@ -1,0 +1,39 @@
+// A counting global allocator, `include!`d by the bench binaries that want
+// allocations-per-event numbers (`bin/perf.rs`, `bin/experiments.rs`).
+//
+// It lives outside the library module tree on purpose: the library forbids
+// unsafe code, while a `GlobalAlloc` impl is necessarily unsafe, and a
+// `#[global_allocator]` must be installed by the final binary anyway.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap allocations made by this process so far.
+fn allocations_now() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|all|faults]
-//!             [--json <path>] [--faults <seed>]
+//!             [--json <path>] [--faults <seed>] [--jobs <n>] [--profile <path>]
 //! ```
 //!
 //! With no argument (or `all`) everything runs; output is the paper's
@@ -18,6 +18,13 @@
 //! ```text
 //! {"schema_version":1,"artifacts":{"fig1":...,"fig2":...,...}}
 //! ```
+//!
+//! `--jobs <n>` bounds the sweep worker pool (default: one worker per
+//! available core); results are byte-identical for any worker count.
+//! `--profile <path>` additionally profiles the event loop itself (both
+//! apps, every Table 1 scheme, run serially after the artifacts) and writes
+//! events/sec, peak queue depth, and allocations-per-event to `<path>`
+//! (conventionally `BENCH_3.json`) — the artifacts JSON is unaffected.
 
 use bench::json::{obj, Json};
 use bench::{
@@ -27,7 +34,9 @@ use bench::{
 use migrate_model::{figure1, Pattern};
 use migrate_rt::Scheme;
 
-const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults] [--json <path>] [--faults <seed>]";
+include!("../alloc_counter.rs");
+
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults] [--json <path>] [--faults <seed>] [--jobs <n>] [--profile <path>]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +52,33 @@ fn main() {
         }
         None => None,
     };
+    let profile_path = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--profile requires a path\n{USAGE}");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if i + 1 >= args.len() {
+            eprintln!("--jobs requires a worker count\n{USAGE}");
+            std::process::exit(2);
+        }
+        let n = args.remove(i + 1);
+        args.remove(i);
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => bench::pool::set_jobs(n),
+            _ => {
+                eprintln!("--jobs must be a positive integer, got {n:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     let faults_seed = match args.iter().position(|a| a == "--faults") {
         Some(i) => {
             if i + 1 >= args.len() {
@@ -123,6 +159,19 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote JSON artifacts to {path}");
+    }
+    if let Some(path) = profile_path {
+        // Profiling runs strictly after (and apart from) the artifacts, so
+        // it cannot perturb them; cells run serially for honest wall-clock.
+        println!("== simulator core profile ==");
+        let cells = bench::profile_cells(3, Some(&allocations_now));
+        print!("{}", bench::render_profile(&cells));
+        let doc = bench::profile_to_json(&cells);
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote profile to {path}");
     }
 }
 

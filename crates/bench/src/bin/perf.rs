@@ -1,0 +1,66 @@
+//! Wall-clock benchmark harness for the simulator core.
+//!
+//! ```text
+//! perf [--reps N] [--json <path>]
+//! ```
+//!
+//! Runs both applications under every Table 1 scheme serially, reporting
+//! events/sec, peak queue depth, and allocations-per-event per cell, plus
+//! the speedup over the recorded pre-PR baseline. With `--json <path>`
+//! (conventionally `BENCH_3.json`) the same numbers are written as a
+//! machine-readable document for CI's regression gate.
+
+include!("../alloc_counter.rs");
+
+const USAGE: &str = "usage: perf [--reps N] [--json <path>]";
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--json requires a path\n{USAGE}");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Some(path)
+        }
+        None => None,
+    };
+    let reps = match args.iter().position(|a| a == "--reps") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--reps requires a count\n{USAGE}");
+                std::process::exit(2);
+            }
+            let n = args.remove(i + 1);
+            args.remove(i);
+            match n.parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--reps must be a positive integer, got {n:?}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => 3,
+    };
+    if !args.is_empty() {
+        eprintln!("unknown arguments {args:?}\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    println!("== simulator core profile: best of {reps} rep(s) per cell ==");
+    let cells = bench::profile_cells(reps, Some(&allocations_now));
+    print!("{}", bench::render_profile(&cells));
+
+    if let Some(path) = json_path {
+        let doc = bench::profile_to_json(&cells);
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote profile to {path}");
+    }
+}

@@ -10,10 +10,11 @@
 
 use migrate_apps::btree::BTreeExperiment;
 use migrate_apps::counting::CountingExperiment;
-use migrate_rt::{categories as cat, RunMetrics, Scheme};
+use migrate_rt::{categories as cat, EngineProfile, RunMetrics, Scheme};
 use proteus::Cycles;
 
 pub mod json;
+pub mod pool;
 
 use json::{obj, Json};
 
@@ -50,40 +51,33 @@ pub fn counting_cell(requesters: u32, think: u64, scheme: Scheme) -> RunMetrics 
 }
 
 /// Figures 2 and 3: sweep requester counts for all five schemes at one
-/// think time. Independent simulations fan out over OS threads.
+/// think time. Independent simulations run on the bounded worker pool
+/// (see [`pool`]); the cell list is row-major (requester count outer,
+/// scheme inner), so reassembly is a single linear pass instead of a
+/// per-cell search.
 pub fn counting_sweep(think: u64, requester_counts: &[u32]) -> Vec<CountingPoint> {
     let schemes = Scheme::figure2_rows();
-    let mut points: Vec<CountingPoint> = requester_counts
+    let cells: Vec<(u32, Scheme)> = requester_counts
+        .iter()
+        .flat_map(|&requesters| schemes.iter().map(move |&scheme| (requesters, scheme)))
+        .collect();
+    let mut metrics = pool::map_indexed(&cells, |&(requesters, scheme)| {
+        counting_cell(requesters, think, scheme)
+    })
+    .into_iter();
+    requester_counts
         .iter()
         .map(|&requesters| CountingPoint {
             requesters,
-            rows: Vec::new(),
+            rows: schemes
+                .iter()
+                .map(|scheme| Row {
+                    label: scheme.label(),
+                    metrics: metrics.next().expect("cell computed"),
+                })
+                .collect(),
         })
-        .collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &requesters in requester_counts {
-            for &scheme in &schemes {
-                handles.push((
-                    requesters,
-                    scheme,
-                    scope.spawn(move || counting_cell(requesters, think, scheme)),
-                ));
-            }
-        }
-        for (requesters, scheme, handle) in handles {
-            let metrics = handle.join().expect("simulation thread panicked");
-            let point = points
-                .iter_mut()
-                .find(|p| p.requesters == requesters)
-                .expect("point exists");
-            point.rows.push(Row {
-                label: scheme.label(),
-                metrics,
-            });
-        }
-    });
-    points
+        .collect()
 }
 
 /// Run one B-tree row.
@@ -102,20 +96,15 @@ pub fn btree_cell(think: u64, scheme: Scheme, fanout: usize) -> RunMetrics {
 /// Tables 1 and 2: all nine schemes at zero think time (throughput and
 /// bandwidth come from the same runs).
 pub fn btree_table(think: u64, schemes: &[Scheme]) -> Vec<Row> {
-    let mut rows: Vec<Option<Row>> = vec![None; schemes.len()];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = schemes
-            .iter()
-            .map(|&scheme| scope.spawn(move || btree_cell(think, scheme, 100)))
-            .collect();
-        for (slot, (handle, scheme)) in rows.iter_mut().zip(handles.into_iter().zip(schemes)) {
-            *slot = Some(Row {
-                label: scheme.label(),
-                metrics: handle.join().expect("simulation thread panicked"),
-            });
-        }
-    });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+    let metrics = pool::map_indexed(schemes, |&scheme| btree_cell(think, scheme, 100));
+    schemes
+        .iter()
+        .zip(metrics)
+        .map(|(scheme, metrics)| Row {
+            label: scheme.label(),
+            metrics,
+        })
+        .collect()
 }
 
 /// Tables 3 and 4: the think-10 000 rows the paper prints (SM, CP w/repl.,
@@ -137,20 +126,15 @@ pub fn fanout10_rows() -> Vec<Row> {
         Scheme::shared_memory(),
         Scheme::computation_migration().with_replication(),
     ];
-    let mut rows = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = schemes
-            .iter()
-            .map(|&scheme| scope.spawn(move || btree_cell(0, scheme, 10)))
-            .collect();
-        for (handle, scheme) in handles.into_iter().zip(schemes) {
-            rows.push(Row {
-                label: scheme.label(),
-                metrics: handle.join().expect("simulation thread panicked"),
-            });
-        }
-    });
-    rows
+    let metrics = pool::map_indexed(&schemes, |&scheme| btree_cell(0, scheme, 10));
+    schemes
+        .iter()
+        .zip(metrics)
+        .map(|(scheme, metrics)| Row {
+            label: scheme.label(),
+            metrics,
+        })
+        .collect()
 }
 
 /// Extension comparison (DESIGN.md §7): the mechanisms the paper discusses
@@ -164,30 +148,32 @@ pub fn extension_rows(think: u64) -> (Vec<Row>, Vec<Row>) {
         Scheme::object_migration(),
         Scheme::thread_migration(),
     ];
-    let mut counting = Vec::new();
-    let mut btree = Vec::new();
-    std::thread::scope(|scope| {
-        let ch: Vec<_> = schemes
-            .iter()
-            .map(|&s| scope.spawn(move || counting_cell(32, think, s)))
-            .collect();
-        let bh: Vec<_> = schemes
-            .iter()
-            .map(|&s| scope.spawn(move || btree_cell(think, s, 100)))
-            .collect();
-        for (h, s) in ch.into_iter().zip(schemes) {
-            counting.push(Row {
-                label: s.label(),
-                metrics: h.join().expect("sim thread"),
-            });
+    // One cell list for both workloads: counting cells first, then B-tree.
+    let cells: Vec<(bool, Scheme)> = schemes
+        .iter()
+        .map(|&s| (true, s))
+        .chain(schemes.iter().map(|&s| (false, s)))
+        .collect();
+    let mut metrics = pool::map_indexed(&cells, |&(is_counting, s)| {
+        if is_counting {
+            counting_cell(32, think, s)
+        } else {
+            btree_cell(think, s, 100)
         }
-        for (h, s) in bh.into_iter().zip(schemes) {
-            btree.push(Row {
-                label: s.label(),
-                metrics: h.join().expect("sim thread"),
-            });
-        }
-    });
+    })
+    .into_iter();
+    let label = |s: &Scheme, m| Row {
+        label: s.label(),
+        metrics: m,
+    };
+    let counting = schemes
+        .iter()
+        .map(|s| label(s, metrics.next().expect("cell computed")))
+        .collect();
+    let btree = schemes
+        .iter()
+        .map(|s| label(s, metrics.next().expect("cell computed")))
+        .collect();
     (counting, btree)
 }
 
@@ -215,30 +201,231 @@ pub fn fault_cell_btree(seed: u64, scheme: Scheme) -> RunMetrics {
 /// the same seed yields identical metrics (and identical JSON) on every run.
 pub fn fault_sweep(seed: u64) -> Vec<Row> {
     let schemes = [Scheme::rpc(), Scheme::computation_migration()];
-    let mut rows = Vec::new();
-    std::thread::scope(|scope| {
-        let ch: Vec<_> = schemes
-            .iter()
-            .map(|&s| scope.spawn(move || fault_cell_counting(seed, s)))
-            .collect();
-        let bh: Vec<_> = schemes
-            .iter()
-            .map(|&s| scope.spawn(move || fault_cell_btree(seed, s)))
-            .collect();
-        for (h, s) in ch.into_iter().zip(schemes) {
-            rows.push(Row {
-                label: format!("counting {}", s.label()),
-                metrics: h.join().expect("sim thread"),
-            });
-        }
-        for (h, s) in bh.into_iter().zip(schemes) {
-            rows.push(Row {
-                label: format!("btree {}", s.label()),
-                metrics: h.join().expect("sim thread"),
-            });
+    let cells: Vec<(bool, Scheme)> = schemes
+        .iter()
+        .map(|&s| (true, s))
+        .chain(schemes.iter().map(|&s| (false, s)))
+        .collect();
+    let metrics = pool::map_indexed(&cells, |&(is_counting, s)| {
+        if is_counting {
+            fault_cell_counting(seed, s)
+        } else {
+            fault_cell_btree(seed, s)
         }
     });
-    rows
+    cells
+        .iter()
+        .zip(metrics)
+        .map(|(&(is_counting, s), metrics)| Row {
+            label: format!(
+                "{} {}",
+                if is_counting { "counting" } else { "btree" },
+                s.label()
+            ),
+            metrics,
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Self-measurement: the `--profile` mode / `perf` harness
+// ----------------------------------------------------------------------
+
+/// One profiled cell: how fast the simulator core ran one app×scheme
+/// experiment, independent of what the simulation computed.
+#[derive(Clone, Debug)]
+pub struct ProfiledCell {
+    /// Application ("counting" or "btree").
+    pub app: &'static str,
+    /// Scheme label as printed in the paper.
+    pub scheme: String,
+    /// Events the engine dispatched (warm-up + window).
+    pub events: u64,
+    /// Peak pending-event count.
+    pub peak_queue_depth: usize,
+    /// Operations the simulation completed in its window.
+    pub ops: u64,
+    /// Best wall-clock seconds over the measured repetitions.
+    pub wall_seconds: f64,
+    /// Heap allocations per dispatched event, when the harness binary
+    /// installed a counting allocator (see `bin/perf.rs`).
+    pub allocations_per_event: Option<f64>,
+}
+
+impl ProfiledCell {
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+}
+
+/// Wall-clock seconds per cell measured on the pre-PR core (commit
+/// `06fe8a7`, best of three runs on the development machine), for the same
+/// cells [`profile_cells`] runs. The simulation is byte-identical across
+/// that boundary, so the events-per-second ratio equals the wall-clock
+/// ratio; BENCH_3.json records the speedup column from this table.
+pub const PRE_PR_WALL_SECONDS: &[(&str, &str, f64)] = &[
+    ("btree", "CP", 0.011316),
+    ("btree", "CP w/HW", 0.019288),
+    ("btree", "CP w/repl.", 0.012977),
+    ("btree", "CP w/repl. & HW", 0.011520),
+    ("btree", "RPC", 0.005127),
+    ("btree", "RPC w/HW", 0.009375),
+    ("btree", "RPC w/repl.", 0.008736),
+    ("btree", "RPC w/repl. & HW", 0.007905),
+    ("btree", "SM", 0.061960),
+    ("counting", "CP", 0.023134),
+    ("counting", "CP w/HW", 0.035782),
+    ("counting", "CP w/repl.", 0.024459),
+    ("counting", "CP w/repl. & HW", 0.038759),
+    ("counting", "RPC", 0.011510),
+    ("counting", "RPC w/HW", 0.014574),
+    ("counting", "RPC w/repl.", 0.008937),
+    ("counting", "RPC w/repl. & HW", 0.016075),
+    ("counting", "SM", 0.027758),
+];
+
+/// The recorded pre-PR wall seconds for one cell, if measured.
+pub fn pre_pr_wall_seconds(app: &str, scheme: &str) -> Option<f64> {
+    PRE_PR_WALL_SECONDS
+        .iter()
+        .find(|&&(a, s, _)| a == app && s == scheme)
+        .map(|&(_, _, secs)| secs)
+}
+
+/// Profile the event loop on both applications under every Table 1 scheme
+/// (the paper's full scheme set). Cells run serially — wall-clock numbers
+/// must not be polluted by sibling cells — with `reps` repetitions each,
+/// keeping the fastest. `alloc_count` reads a process-wide allocation
+/// counter when the harness binary installs one.
+pub fn profile_cells(reps: u32, alloc_count: Option<&dyn Fn() -> u64>) -> Vec<ProfiledCell> {
+    let reps = reps.max(1);
+    let schemes = Scheme::table1_rows();
+    let mut cells = Vec::new();
+    let mut run =
+        |app: &'static str, scheme: Scheme, f: &dyn Fn() -> (RunMetrics, EngineProfile)| {
+            let mut best: Option<ProfiledCell> = None;
+            for _ in 0..reps {
+                let allocs_before = alloc_count.map(|c| c());
+                let start = std::time::Instant::now();
+                let (metrics, profile) = f();
+                let wall_seconds = start.elapsed().as_secs_f64();
+                let allocations_per_event = alloc_count
+                    .zip(allocs_before)
+                    .map(|(c, before)| (c() - before) as f64 / profile.events.max(1) as f64);
+                if best.as_ref().is_none_or(|b| wall_seconds < b.wall_seconds) {
+                    best = Some(ProfiledCell {
+                        app,
+                        scheme: scheme.label(),
+                        events: profile.events,
+                        peak_queue_depth: profile.peak_queue_depth,
+                        ops: metrics.ops,
+                        wall_seconds,
+                        allocations_per_event,
+                    });
+                }
+            }
+            cells.push(best.expect("at least one repetition"));
+        };
+    for &scheme in &schemes {
+        run("counting", scheme, &|| {
+            CountingExperiment::paper(16, 0, scheme).run_profiled(COUNTING_WARMUP, COUNTING_WINDOW)
+        });
+    }
+    for &scheme in &schemes {
+        run("btree", scheme, &|| {
+            BTreeExperiment::paper(0, scheme).run_profiled(BTREE_WARMUP, BTREE_WINDOW)
+        });
+    }
+    cells
+}
+
+/// Serialize profiled cells to the BENCH_3.json document: per-cell events
+/// per second plus the speedup over the recorded pre-PR baseline.
+pub fn profile_to_json(cells: &[ProfiledCell]) -> Json {
+    let mut speedups: Vec<f64> = Vec::new();
+    let rows = Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                let mut fields = vec![
+                    ("app", Json::Str(c.app.to_string())),
+                    ("scheme", Json::Str(c.scheme.clone())),
+                    ("events", Json::Int(c.events)),
+                    ("events_per_sec", Json::Num(c.events_per_sec())),
+                    ("wall_seconds", Json::Num(c.wall_seconds)),
+                    ("peak_queue_depth", Json::Int(c.peak_queue_depth as u64)),
+                    ("ops", Json::Int(c.ops)),
+                ];
+                if let Some(ape) = c.allocations_per_event {
+                    fields.push(("allocations_per_event", Json::Num(ape)));
+                }
+                if let Some(base) = pre_pr_wall_seconds(c.app, &c.scheme) {
+                    let speedup = base / c.wall_seconds;
+                    speedups.push(speedup);
+                    fields.push(("pre_pr_wall_seconds", Json::Num(base)));
+                    fields.push(("speedup_vs_pre_pr", Json::Num(speedup)));
+                }
+                obj(fields)
+            })
+            .collect(),
+    );
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
+    let mut summary = vec![
+        ("cells", Json::Int(cells.len() as u64)),
+        ("total_events", Json::Int(total_events)),
+        (
+            "aggregate_events_per_sec",
+            Json::Num(total_events as f64 / total_wall),
+        ),
+    ];
+    if !speedups.is_empty() {
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        summary.push(("min_speedup_vs_pre_pr", Json::Num(min)));
+        summary.push(("geomean_speedup_vs_pre_pr", Json::Num(geomean)));
+    }
+    obj(vec![
+        ("schema_version", Json::Int(1)),
+        (
+            "workload",
+            Json::Str(
+                "counting(16 requesters) + btree(fanout 100), all Table 1 schemes, think 0"
+                    .to_string(),
+            ),
+        ),
+        ("cells", rows),
+        ("summary", obj(summary)),
+    ])
+}
+
+/// Render profiled cells as an aligned text table.
+pub fn render_profile(cells: &[ProfiledCell]) -> String {
+    let mut out = format!(
+        "{:<10} {:<18} {:>10} {:>14} {:>10} {:>12} {:>10}\n",
+        "app", "scheme", "events", "events/sec", "peak q", "allocs/ev", "speedup"
+    );
+    for c in cells {
+        let ape = c
+            .allocations_per_event
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        let speedup = pre_pr_wall_seconds(c.app, &c.scheme)
+            .map(|b| format!("{:.2}x", b / c.wall_seconds))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<10} {:<18} {:>10} {:>14.0} {:>10} {:>12} {:>10}\n",
+            c.app,
+            c.scheme,
+            c.events,
+            c.events_per_sec(),
+            c.peak_queue_depth,
+            ape,
+            speedup,
+        ));
+    }
+    out
 }
 
 /// One Table 5 line: category name and mean cycles per migration.

@@ -1,0 +1,106 @@
+//! Deterministic bounded worker pool for experiment sweeps.
+//!
+//! The sweeps in this crate fan independent simulations out over OS threads.
+//! Spawning one thread per cell oversubscribes the machine badly on large
+//! sweeps (Figure 2 alone is dozens of cells); this module runs them on a
+//! bounded pool instead. Results are returned **indexed by cell**, so the
+//! output is byte-identical no matter how many workers run or in what order
+//! they finish — each cell's simulation is already deterministic, and the
+//! pool only changes *when* a cell runs, never *what* it computes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured worker count; 0 means "auto" (`available_parallelism`).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the sweep worker count (the `--jobs N` flag). `0` restores the
+/// default of one worker per available core.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective sweep worker count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on at most [`jobs`] worker threads, returning the
+/// results in input order. Workers claim cells from a shared counter, so a
+/// slow cell never holds up the rest of the queue; each result is keyed by
+/// its cell index, so scheduling order cannot leak into the output.
+pub fn map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs().clamp(1, n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return done;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("simulation worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map_indexed(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = map_indexed(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        // Don't disturb other tests' configuration: restore on exit.
+        let before = JOBS.load(Ordering::Relaxed);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        JOBS.store(before, Ordering::Relaxed);
+    }
+}

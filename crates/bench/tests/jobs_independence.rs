@@ -1,0 +1,19 @@
+//! Sweep results must be independent of the worker-pool size: `--jobs 1`
+//! and `--jobs N` must yield byte-identical JSON. The pool only decides
+//! *when* a cell runs, never *what* it computes, and results are reassembled
+//! by cell index — this test is the regression gate on that contract.
+
+use bench::{fault_sweep, pool, rows_to_json};
+
+#[test]
+fn fault_sweep_output_is_independent_of_jobs() {
+    // The fault sweep covers both applications (counting + B-tree) through
+    // the same `pool::map_indexed` path every other sweep uses, with small
+    // enough windows to run twice in a test.
+    pool::set_jobs(1);
+    let serial = rows_to_json(&fault_sweep(7)).render();
+    pool::set_jobs(4);
+    let parallel = rows_to_json(&fault_sweep(7)).render();
+    pool::set_jobs(0); // restore auto for any later caller in this process
+    assert_eq!(serial, parallel, "sweep output depends on --jobs");
+}

@@ -16,6 +16,7 @@
 //! * **hardware GOID translation** (J-Machine): global object identifier
 //!   translation becomes free.
 
+use proteus::stats::CycleAccounting;
 use proteus::Cycles;
 
 /// Accounting category names. Keeping them as constants means every charge
@@ -107,6 +108,161 @@ pub mod categories {
         FAULT_STALL,
         FAULT_CRASH,
     ];
+}
+
+/// Dense interned id of an accounting category: an index into
+/// [`categories::ALL`]. The hot charge path is an array index; the string
+/// name is only looked up at registration and reporting time (see
+/// [`CategoryTable`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CategoryId(u16);
+
+impl CategoryId {
+    /// Position in [`categories::ALL`] / the dense accounting arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The category's report name.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        categories::ALL[self.0 as usize]
+    }
+}
+
+macro_rules! define_category_ids {
+    (@decl $idx:expr; $name:ident, $($rest:ident),+) => {
+        #[doc = concat!("Dense id of `categories::", stringify!($name), "`.")]
+        pub const $name: CategoryId = CategoryId($idx);
+        define_category_ids!(@decl $idx + 1; $($rest),+);
+    };
+    (@decl $idx:expr; $name:ident) => {
+        #[doc = concat!("Dense id of `categories::", stringify!($name), "`.")]
+        pub const $name: CategoryId = CategoryId($idx);
+        /// Number of registered categories.
+        pub const COUNT: usize = ($idx + 1) as usize;
+    };
+    ($($name:ident),+ $(,)?) => {
+        /// [`CategoryId`] constants mirroring [`categories`], in the same
+        /// order as [`categories::ALL`] (checked by test).
+        pub mod category_ids {
+            use super::CategoryId;
+            define_category_ids!(@decl 0u16; $($name),+);
+        }
+    };
+}
+
+define_category_ids!(
+    USER_CODE,
+    NETWORK_TRANSIT,
+    COPY_PACKET,
+    THREAD_CREATION,
+    LINKAGE_RECV,
+    UNMARSHAL,
+    GOID_TRANSLATION,
+    SCHEDULER,
+    FORWARDING_CHECK,
+    ALLOC_PACKET_RECV,
+    RPC_DISPATCH,
+    LINKAGE_SEND,
+    ALLOC_PACKET_SEND,
+    MESSAGE_SEND,
+    MARSHAL,
+    LOCALITY_CHECK,
+    LOCAL_LINKAGE,
+    LOCK_STALL,
+    MEMORY_STALL,
+    REPLICA_APPLY,
+    RECOVERY_DEDUP,
+    RECOVERY_TIMEOUT,
+    RECOVERY_RECLAIM,
+    FAULT_STALL,
+    FAULT_CRASH,
+);
+
+/// The registry mapping dense [`CategoryId`]s to and from category names.
+/// Name lookup is a linear scan — acceptable because it only happens at
+/// registration/reporting boundaries, never per charge.
+pub struct CategoryTable;
+
+impl CategoryTable {
+    /// Number of registered categories.
+    pub const LEN: usize = category_ids::COUNT;
+
+    /// The id registered for `name`, if any.
+    pub fn id(name: &str) -> Option<CategoryId> {
+        categories::ALL
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| CategoryId(i as u16))
+    }
+
+    /// All ids, in [`categories::ALL`] report order.
+    pub fn iter() -> impl Iterator<Item = CategoryId> {
+        (0..Self::LEN as u16).map(CategoryId)
+    }
+}
+
+/// Fixed-size cycle accounting indexed by [`CategoryId`]: the per-charge
+/// cost is two array adds instead of a string-keyed map lookup. Converts to
+/// the report-friendly [`CycleAccounting`] at window extraction.
+#[derive(Clone, Debug)]
+pub struct DenseAccounting {
+    cycles: [u64; CategoryTable::LEN],
+    events: [u64; CategoryTable::LEN],
+}
+
+impl Default for DenseAccounting {
+    fn default() -> Self {
+        DenseAccounting {
+            cycles: [0; CategoryTable::LEN],
+            events: [0; CategoryTable::LEN],
+        }
+    }
+}
+
+impl DenseAccounting {
+    /// Charge `cycles` to `id` and count one occurrence.
+    #[inline]
+    pub fn charge(&mut self, id: CategoryId, cycles: Cycles) {
+        let i = id.index();
+        self.cycles[i] += cycles.get();
+        self.events[i] += 1;
+    }
+
+    /// Total cycles charged to `id`.
+    #[inline]
+    pub fn total(&self, id: CategoryId) -> u64 {
+        self.cycles[id.index()]
+    }
+
+    /// Number of charges made to `id`.
+    #[inline]
+    pub fn count(&self, id: CategoryId) -> u64 {
+        self.events[id.index()]
+    }
+
+    /// Grand total across all categories.
+    pub fn grand_total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Expand into the name-keyed [`CycleAccounting`] used for reports.
+    /// Exactly the categories charged at least once appear — including those
+    /// charged only zero-cycle amounts — matching what charging a
+    /// [`CycleAccounting`] directly would have produced, byte for byte in
+    /// the JSON artifacts.
+    pub fn to_cycle_accounting(&self) -> CycleAccounting {
+        let mut acct = CycleAccounting::default();
+        for id in CategoryTable::iter() {
+            let i = id.index();
+            if self.events[i] > 0 {
+                acct.charge_n(id.name(), Cycles(self.cycles[i]), self.events[i]);
+            }
+        }
+        acct
+    }
 }
 
 /// Cycle costs of the message-passing runtime.
@@ -343,5 +499,54 @@ mod tests {
         assert_eq!(c.goid_translation, Cycles::ZERO);
         assert_eq!(c.alloc_packet_send, Cycles::ZERO);
         assert_eq!(c.copy_packet, Cycles(12));
+    }
+
+    #[test]
+    fn category_ids_mirror_the_string_registry() {
+        assert_eq!(CategoryTable::LEN, categories::ALL.len());
+        // Spot-check that the id constants line up with their namesakes;
+        // the macro derives ids positionally, so first/last/middle suffice
+        // together with the exhaustive round-trip below.
+        assert_eq!(category_ids::USER_CODE.name(), categories::USER_CODE);
+        assert_eq!(
+            category_ids::NETWORK_TRANSIT.name(),
+            categories::NETWORK_TRANSIT
+        );
+        assert_eq!(category_ids::LOCK_STALL.name(), categories::LOCK_STALL);
+        assert_eq!(category_ids::FAULT_CRASH.name(), categories::FAULT_CRASH);
+        for (i, id) in CategoryTable::iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(CategoryTable::id(id.name()), Some(id));
+        }
+        assert_eq!(CategoryTable::id("no_such_category"), None);
+    }
+
+    #[test]
+    fn dense_accounting_matches_direct_charging() {
+        let mut dense = DenseAccounting::default();
+        let mut direct = CycleAccounting::default();
+        let charges = [
+            (category_ids::MARSHAL, 22u64),
+            (category_ids::MARSHAL, 22),
+            (category_ids::LINKAGE_SEND, 10),
+            // Zero-cycle charges must still register the category.
+            (category_ids::THREAD_CREATION, 0),
+        ];
+        for (id, cycles) in charges {
+            dense.charge(id, Cycles(cycles));
+            direct.charge(id.name(), Cycles(cycles));
+        }
+        assert_eq!(dense.total(category_ids::MARSHAL), 44);
+        assert_eq!(dense.count(category_ids::MARSHAL), 2);
+        assert_eq!(dense.grand_total(), direct.grand_total());
+        let expanded = dense.to_cycle_accounting();
+        let got: Vec<_> = expanded.totals().collect();
+        let want: Vec<_> = direct.totals().collect();
+        assert_eq!(got, want);
+        for (name, _) in direct.totals() {
+            assert_eq!(expanded.count(name), direct.count(name));
+        }
+        // Never-charged categories stay absent from the report form.
+        assert_eq!(expanded.totals().count(), 3);
     }
 }

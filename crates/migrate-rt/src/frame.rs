@@ -18,7 +18,7 @@
 use proteus::{Cycles, ProcId};
 
 use crate::mechanism::Annotation;
-use crate::types::{Goid, MethodId, Word};
+use crate::types::{Goid, MethodId, Word, WordVec};
 
 /// A pending instance-method invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,8 +27,9 @@ pub struct Invoke {
     pub target: Goid,
     /// Method selector.
     pub method: MethodId,
-    /// Argument words.
-    pub args: Vec<Word>,
+    /// Argument words. Up to four words ride inline in the envelope with no
+    /// heap allocation.
+    pub args: WordVec,
     /// The call-site annotation (§3.1): plain call or migration point.
     pub annotation: Annotation,
     /// Whether the method only reads the object. Read-only calls on
@@ -41,11 +42,11 @@ pub struct Invoke {
 
 impl Invoke {
     /// A plain (RPC-on-remote) invocation.
-    pub fn rpc(target: Goid, method: MethodId, args: Vec<Word>) -> Invoke {
+    pub fn rpc(target: Goid, method: MethodId, args: impl Into<WordVec>) -> Invoke {
         Invoke {
             target,
             method,
-            args,
+            args: args.into(),
             annotation: Annotation::Rpc,
             read_only: false,
             short_method: false,
@@ -53,7 +54,7 @@ impl Invoke {
     }
 
     /// An invocation whose call site carries the migration annotation.
-    pub fn migrate(target: Goid, method: MethodId, args: Vec<Word>) -> Invoke {
+    pub fn migrate(target: Goid, method: MethodId, args: impl Into<WordVec>) -> Invoke {
         Invoke {
             annotation: Annotation::Migrate,
             ..Invoke::rpc(target, method, args)
@@ -62,7 +63,7 @@ impl Invoke {
 
     /// An invocation annotated for multiple-activation migration: the whole
     /// activation group above the thread base moves (§6 future work).
-    pub fn migrate_all(target: Goid, method: MethodId, args: Vec<Word>) -> Invoke {
+    pub fn migrate_all(target: Goid, method: MethodId, args: impl Into<WordVec>) -> Invoke {
         Invoke {
             annotation: Annotation::MigrateAll,
             ..Invoke::rpc(target, method, args)

@@ -82,14 +82,14 @@ pub mod rng;
 pub mod system;
 pub mod types;
 
-pub use cost::{categories, CostModel};
+pub use cost::{categories, category_ids, CategoryId, CategoryTable, CostModel, DenseAccounting};
 pub use error::RuntimeError;
 pub use frame::{Frame, Invoke, StepCtx, StepResult};
 pub use mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 pub use message::{Message, MessageKind, Payload};
 pub use object::{Behavior, MethodEnv, ObjectEntry, ObjectTable};
 pub use system::{
-    AuditSummary, Event, MachineConfig, ProcWindowStats, RecoveryConfig, RecoveryStats, RunMetrics,
-    Runner, System,
+    AuditSummary, EngineProfile, Event, MachineConfig, ProcWindowStats, RecoveryConfig,
+    RecoveryStats, RunMetrics, Runner, System,
 };
-pub use types::{Goid, MethodId, ThreadId, Word};
+pub use types::{Goid, MethodId, ThreadId, Word, WordVec};

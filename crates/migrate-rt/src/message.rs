@@ -4,7 +4,7 @@ use proteus::ProcId;
 
 use crate::frame::{Frame, Invoke};
 use crate::object::Behavior;
-use crate::types::{Goid, ThreadId, Word};
+use crate::types::{Goid, ThreadId, WordVec};
 
 /// Marshalled size of a frame group: each frame's live words plus two words
 /// of per-frame linkage (return address + frame descriptor).
@@ -35,8 +35,8 @@ pub enum Payload {
     RpcReply {
         /// Thread to resume.
         thread: ThreadId,
-        /// Result words.
-        results: Vec<Word>,
+        /// Result words (inline up to four words).
+        results: WordVec,
     },
     /// A migrating activation group (bottom…top; the paper's prototype sends
     /// one frame, multiple-activation migration sends several) plus the
@@ -90,8 +90,8 @@ pub enum Payload {
         /// Whether the returning base frame was an operation frame (drives
         /// the ops-completed metric at the home).
         completes_op: bool,
-        /// Result words.
-        results: Vec<Word>,
+        /// Result words (inline up to four words).
+        results: WordVec,
     },
     /// Software replication: update/invalidate a replica after a write to a
     /// replicated object.
@@ -186,7 +186,7 @@ pub struct Message {
 mod tests {
     use super::*;
     use crate::frame::{StepCtx, StepResult};
-    use crate::types::MethodId;
+    use crate::types::{MethodId, Word};
 
     struct Fixed(u64);
     impl Frame for Fixed {
@@ -287,13 +287,13 @@ mod tests {
     fn reply_and_return_sizes() {
         let p = Payload::RpcReply {
             thread: ThreadId(0),
-            results: vec![1, 2],
+            results: vec![1, 2].into(),
         };
         assert_eq!(p.words(), 3);
         let r = Payload::OperationReturn {
             thread: ThreadId(0),
             completes_op: true,
-            results: vec![1],
+            results: vec![1].into(),
         };
         assert_eq!(r.words(), 2);
         assert_eq!(r.kind(), MessageKind::OperationReturn);

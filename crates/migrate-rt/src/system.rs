@@ -25,14 +25,14 @@ use proteus::{
     Processor, ProcessorStats,
 };
 
-use crate::cost::{categories as cat, CostModel};
+use crate::cost::{category_ids as cat, CategoryId, CategoryTable, CostModel, DenseAccounting};
 use crate::error::RuntimeError;
 use crate::frame::{Frame, Invoke, StepCtx, StepResult};
 use crate::mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 use crate::message::{Message, MessageKind, Payload};
 use crate::object::{Behavior, MethodEnv, ObjectTable};
 use crate::rng::SplitMix64;
-use crate::types::{Goid, ThreadId, Word};
+use crate::types::{Goid, ThreadId, Word, WordVec};
 
 /// Full machine + scheme configuration for one experiment run.
 #[derive(Clone, Debug)]
@@ -61,7 +61,8 @@ pub struct MachineConfig {
     /// Cycle-accounting audit mode: cross-check, for every executed task,
     /// that the processor-busy duration equals the cycles charged to busy
     /// accounting categories, and at metrics extraction that every charged
-    /// cycle belongs to a registered [`cat::ALL`] category. Costs nothing
+    /// cycle belongs to a registered [`crate::cost::categories::ALL`]
+    /// category. Costs nothing
     /// when off; when on, [`System::metrics`] panics on any discrepancy.
     pub audit: bool,
     /// Deterministic fault injection (`None` = fail-free, the default).
@@ -206,14 +207,11 @@ enum Work {
     /// Deliver results to the thread's top frame at home, then step.
     Deliver {
         thread: ThreadId,
-        results: Vec<Word>,
+        results: WordVec,
         completes_op: bool,
     },
     /// Deliver an RPC reply to a detached (migrated) frame parked here.
-    DeliverDetached {
-        thread: ThreadId,
-        results: Vec<Word>,
-    },
+    DeliverDetached { thread: ThreadId, results: WordVec },
     /// A migrated activation group arrives: run its pending invoke and
     /// continue it here.
     MigrationArrive {
@@ -362,7 +360,7 @@ pub struct AuditSummary {
     /// Cycles charged to processor-busy categories (everything except
     /// network transit).
     pub busy_total: u64,
-    /// Cycles charged to [`cat::NETWORK_TRANSIT`].
+    /// Cycles charged to [`crate::cost::categories::NETWORK_TRANSIT`].
     pub transit_total: u64,
 }
 
@@ -432,9 +430,15 @@ pub struct System {
     objects: ObjectTable,
     threads: Vec<ThreadState>,
     detached: HashMap<ThreadId, DetachedFrame>,
+    /// Recycled frame-group buffers. Every migration allocates a `Vec` for
+    /// the travelling activation group; reusing the emptied buffers
+    /// (capacity only — contents are always cleared) keeps the steady-state
+    /// migration hot path free of heap churn without touching simulation
+    /// semantics.
+    frame_pool: Vec<Vec<Box<dyn Frame>>>,
     rng: SplitMix64,
-    acct: CycleAccounting,
-    migration_acct: CycleAccounting,
+    acct: DenseAccounting,
+    migration_acct: DenseAccounting,
     migration_ctx: bool,
     migrations: u64,
     ops_completed: u64,
@@ -489,9 +493,10 @@ impl System {
             objects: ObjectTable::new(),
             threads: Vec::new(),
             detached: HashMap::new(),
+            frame_pool: Vec::new(),
             rng: SplitMix64::new(cfg.seed),
-            acct: CycleAccounting::default(),
-            migration_acct: CycleAccounting::default(),
+            acct: DenseAccounting::default(),
+            migration_acct: DenseAccounting::default(),
             migration_ctx: false,
             migrations: 0,
             ops_completed: 0,
@@ -630,8 +635,8 @@ impl System {
         for p in &mut self.procs {
             p.reset_stats();
         }
-        self.acct = CycleAccounting::default();
-        self.migration_acct = CycleAccounting::default();
+        self.acct = DenseAccounting::default();
+        self.migration_acct = DenseAccounting::default();
         self.migrations = 0;
         self.ops_completed = 0;
         self.op_latency = Histogram::new(100, 4096);
@@ -649,9 +654,11 @@ impl System {
 
     /// Cross-check the window's cycle accounting (see
     /// [`MachineConfig::audit`]): every per-task busy duration matched its
-    /// charges, every charged category is registered in [`cat::ALL`], the
-    /// grand total equals the sum over registered categories, and the
-    /// migration accounting is a sub-accounting of the full one.
+    /// charges, the grand total equals the sum over registered categories,
+    /// and the migration accounting is a sub-accounting of the full one.
+    /// (Registry closure — every charged category being registered — now
+    /// holds by construction: charges are keyed by [`CategoryId`], which
+    /// only exists for entries of [`crate::cost::categories::ALL`].)
     pub fn audit(&self) -> Result<AuditSummary, String> {
         if let Some(v) = self.audit_violations.first() {
             return Err(format!(
@@ -659,27 +666,21 @@ impl System {
                 self.audit_violations.len()
             ));
         }
-        let mut registered_total = 0u64;
-        for (category, total) in self.acct.totals() {
-            if !cat::ALL.contains(&category) {
-                return Err(format!(
-                    "category {category:?} charged but not registered in categories::ALL"
-                ));
-            }
-            registered_total += total;
-        }
+        let registered_total: u64 = CategoryTable::iter().map(|id| self.acct.total(id)).sum();
         if registered_total != self.acct.grand_total() {
             return Err(format!(
                 "grand total {} != sum over registered categories {registered_total}",
                 self.acct.grand_total()
             ));
         }
-        for (category, total) in self.migration_acct.totals() {
-            if self.acct.total(category) < total {
+        for id in CategoryTable::iter() {
+            let total = self.migration_acct.total(id);
+            if self.acct.total(id) < total {
                 return Err(format!(
-                    "migration accounting charges {total} cycles of {category:?} \
+                    "migration accounting charges {total} cycles of {:?} \
                      but the full accounting only has {}",
-                    self.acct.total(category)
+                    id.name(),
+                    self.acct.total(id)
                 ));
             }
         }
@@ -736,8 +737,8 @@ impl System {
             mean_op_latency: self.op_latency.mean(),
             migrations: self.migrations,
             max_proc_utilization: max_util,
-            accounting: self.acct.clone(),
-            migration_accounting: self.migration_acct.clone(),
+            accounting: self.acct.to_cycle_accounting(),
+            migration_accounting: self.migration_acct.to_cycle_accounting(),
             message_kinds: self.msg_counts.clone(),
             dispatch: self.dispatch.clone(),
             per_proc,
@@ -759,7 +760,7 @@ impl System {
     // Charging helpers
     // ------------------------------------------------------------------
 
-    fn charge(&mut self, category: &'static str, cycles: Cycles) {
+    fn charge(&mut self, category: CategoryId, cycles: Cycles) {
         self.acct.charge(category, cycles);
         if self.migration_ctx {
             self.migration_acct.charge(category, cycles);
@@ -774,6 +775,27 @@ impl System {
 
     fn charge_user(&mut self, cycles: Cycles) {
         self.charge(cat::USER_CODE, cycles);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame-group buffer recycling
+    // ------------------------------------------------------------------
+
+    /// A buffer for a migrating activation group, reusing a recycled one's
+    /// capacity when available.
+    fn take_frame_vec(&mut self) -> Vec<Box<dyn Frame>> {
+        self.frame_pool.pop().unwrap_or_default()
+    }
+
+    /// Return an emptied (or about-to-be-dropped) frame-group buffer to the
+    /// pool. Contents are cleared; only capacity is reused.
+    fn recycle_frame_vec(&mut self, mut v: Vec<Box<dyn Frame>>) {
+        /// Buffers kept beyond this bound just drop.
+        const FRAME_POOL_CAP: usize = 32;
+        if v.capacity() > 0 && self.frame_pool.len() < FRAME_POOL_CAP {
+            v.clear();
+            self.frame_pool.push(v);
+        }
     }
 
     /// Record how an invocation issued from call site `site` was dispatched.
@@ -1293,7 +1315,7 @@ impl System {
         now: Cycles,
         proc: ProcId,
         tid: ThreadId,
-        deliver: Option<(Vec<Word>, bool)>,
+        deliver: Option<(WordVec, bool)>,
         mut acc: Cycles,
         queue: &mut EventQueue<Event>,
     ) -> Cycles {
@@ -1503,7 +1525,8 @@ impl System {
                             self.threads[t].status = ThreadStatus::Detached;
                             let len = self.threads[t].stack.len();
                             let keep = (len + 1 - depth.min(len)).min(len);
-                            let mut frames = self.threads[t].stack.split_off(keep);
+                            let mut frames = self.take_frame_vec();
+                            frames.extend(self.threads[t].stack.drain(keep..));
                             frames.push(frame);
                             let payload = Payload::Migration {
                                 thread: tid,
@@ -1547,7 +1570,7 @@ impl System {
         proc: ProcId,
         tid: ThreadId,
         arriving: Option<ArrivingGroup>,
-        deliver: Option<Vec<Word>>,
+        deliver: Option<WordVec>,
         mut acc: Cycles,
         queue: &mut EventQueue<Event>,
     ) -> Result<Cycles, (Cycles, RuntimeError)> {
@@ -1651,10 +1674,11 @@ impl System {
                         // The group's base returned: short-circuit straight
                         // to the original caller, not through intermediate
                         // processors (§3.2).
+                        self.recycle_frame_vec(lower);
                         let payload = Payload::OperationReturn {
                             thread: tid,
                             completes_op: frame.is_operation(),
-                            results: vals,
+                            results: vals.into(),
                         };
                         acc += self.send_message(proc, reply_to, payload, now + acc, queue);
                         return Ok(acc);
@@ -1888,10 +1912,18 @@ impl System {
                 // data is), run the pending invoke, deliver, continue.
                 let t = thread.index();
                 self.threads[t].home = proc;
-                self.threads[t].stack = frames;
+                let old = std::mem::replace(&mut self.threads[t].stack, frames);
+                self.recycle_frame_vec(old);
                 self.threads[t].status = ThreadStatus::Active;
                 let (lat, results) = self.invoke_inline(proc, &invoke, now + acc, queue);
-                self.run_thread_slice(now, proc, thread, Some((results, false)), acc + lat, queue)
+                self.run_thread_slice(
+                    now,
+                    proc,
+                    thread,
+                    Some((results.into(), false)),
+                    acc + lat,
+                    queue,
+                )
             }
             Work::ServeRpc {
                 thread,
@@ -1904,7 +1936,10 @@ impl System {
                 let acc = acc + self.cost.rpc_dispatch;
                 let (lat, results) = self.invoke_inline(proc, &invoke, now + acc, queue);
                 let mut total = acc + lat;
-                let payload = Payload::RpcReply { thread, results };
+                let payload = Payload::RpcReply {
+                    thread,
+                    results: results.into(),
+                };
                 total += self.send_message(proc, reply_to, payload, now + total, queue);
                 total
             }
@@ -2025,6 +2060,7 @@ impl System {
             // The thread died while its frames were marooned in the
             // retransmission buffer: reclaim them, nothing to re-issue.
             let n = frames.len() as u64;
+            self.recycle_frame_vec(frames);
             self.recovery.frames_reclaimed += n;
             self.record_runtime_error(
                 now + acc,
@@ -2043,7 +2079,9 @@ impl System {
         if reply_to == proc {
             // First migration, leaving the thread's home: put the frames
             // back on the home stack and wait for an RPC reply instead.
-            self.threads[t].stack.extend(frames);
+            let mut frames = frames;
+            self.threads[t].stack.append(&mut frames);
+            self.recycle_frame_vec(frames);
             self.threads[t].status = ThreadStatus::WaitingReply;
             acc += self.send_message(
                 proc,
@@ -2560,6 +2598,16 @@ pub struct Runner {
     engine: Engine<System>,
 }
 
+/// Event-loop profile of one run (see [`Runner::run_profiled`]): how hard
+/// the simulator core itself worked, as opposed to what it simulated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Events dispatched, warm-up included.
+    pub events: u64,
+    /// Peak number of pending events over the run.
+    pub peak_queue_depth: usize,
+}
+
 impl Runner {
     /// Build a runner for a configuration.
     pub fn new(cfg: MachineConfig) -> Runner {
@@ -2597,14 +2645,29 @@ impl Runner {
     /// Run a warm-up of `warmup` cycles, then measure a `window`-cycle
     /// window and return its metrics.
     pub fn run(&mut self, warmup: Cycles, window: Cycles) -> RunMetrics {
+        self.run_profiled(warmup, window).0
+    }
+
+    /// Like [`Runner::run`], but also report how the event loop itself
+    /// performed. The simulation is identical — profiling only reads
+    /// counters the engine keeps anyway.
+    pub fn run_profiled(&mut self, warmup: Cycles, window: Cycles) -> (RunMetrics, EngineProfile) {
         let start = self.engine.now();
+        let mut events = 0u64;
         if !warmup.is_zero() {
-            self.engine.run_until(&mut self.system, start + warmup);
+            events += self
+                .engine
+                .run_until(&mut self.system, start + warmup)
+                .events;
         }
         self.system.reset_window(start + warmup);
         let end = start + warmup + window;
-        self.engine.run_until(&mut self.system, end);
-        self.system.metrics(end)
+        events += self.engine.run_until(&mut self.system, end).events;
+        let profile = EngineProfile {
+            events,
+            peak_queue_depth: self.engine.peak_queue_depth(),
+        };
+        (self.system.metrics(end), profile)
     }
 }
 
@@ -2982,7 +3045,7 @@ mod tests {
         let m = runner.run(Cycles::ZERO, Cycles(2_000_000));
         assert_eq!(m.ops, 200);
         assert!(
-            m.accounting.total(cat::LOCK_STALL) > 0,
+            m.accounting.total(cat::LOCK_STALL.name()) > 0,
             "contending writers must stall on the object lock"
         );
     }

@@ -77,6 +77,9 @@ pub struct Evicted {
 pub struct Cache {
     config: CacheConfig,
     sets: Vec<Vec<Way>>,
+    /// `sets.len() - 1` when the set count is a power of two, letting the
+    /// per-access set index be a mask instead of a division.
+    set_mask: Option<u64>,
     tick: u64,
     stats: CacheStats,
 }
@@ -88,6 +91,7 @@ impl Cache {
         assert!(sets > 0, "cache must have at least one set");
         Cache {
             sets: vec![Vec::new(); sets],
+            set_mask: (sets as u64).is_power_of_two().then(|| sets as u64 - 1),
             config,
             tick: 0,
             stats: CacheStats::default(),
@@ -100,7 +104,10 @@ impl Cache {
     }
 
     fn set_index(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.sets.len() as u64) as usize,
+        }
     }
 
     /// The state of `line` if present.
@@ -117,6 +124,44 @@ impl Cache {
         if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
             w.lru = tick;
             self.stats.hits += 1;
+        }
+    }
+
+    /// [`probe`](Self::probe) + [`touch`](Self::touch) in one scan of the
+    /// set: if `line` is resident, refresh its LRU stamp, count a hit, and
+    /// return its state. Behaviorally identical to the two-call sequence on
+    /// the read hot path, without searching the set twice.
+    pub fn hit_read(&mut self, line: u64) -> Option<LineState> {
+        let idx = self.set_index(line);
+        let tick = self.tick + 1;
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.line == line) {
+            self.tick = tick;
+            w.lru = tick;
+            self.stats.hits += 1;
+            Some(w.state)
+        } else {
+            None
+        }
+    }
+
+    /// [`hit_read`](Self::hit_read) restricted to Modified lines: a write
+    /// hits only if this cache already holds the line exclusively. A Shared
+    /// copy must still take the upgrade path and is deliberately left
+    /// untouched (no LRU refresh, no hit counted), exactly as the probe-only
+    /// sequence behaved.
+    pub fn hit_modified(&mut self, line: u64) -> bool {
+        let idx = self.set_index(line);
+        let tick = self.tick + 1;
+        if let Some(w) = self.sets[idx]
+            .iter_mut()
+            .find(|w| w.line == line && w.state == LineState::Modified)
+        {
+            self.tick = tick;
+            w.lru = tick;
+            self.stats.hits += 1;
+            true
+        } else {
+            false
         }
     }
 

@@ -13,7 +13,8 @@
 //! without a translation table — the paper's machines likewise derived home
 //! nodes from physical addresses.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::cache::{Cache, CacheConfig, LineState};
 use crate::ids::ProcId;
@@ -42,6 +43,92 @@ pub fn home_of_addr(addr: u64) -> ProcId {
 fn xfer(net: &mut Network, src: ProcId, dst: ProcId, payload_words: u64) -> Cycles {
     net.send(src, dst, payload_words)
         .expect("coherence protocol addressed a processor outside the machine")
+}
+
+/// Deterministic one-multiply hasher for line-address keys.
+///
+/// The directory and line-occupancy maps are probed several times per miss,
+/// and the std `HashMap`'s SipHash is the single largest cost of the
+/// shared-memory miss path. Line numbers are small sequential integers, so a
+/// Fibonacci multiply with an xor-fold spreads them well at a fraction of
+/// the cost — and the fixed (seedless) state keeps runs reproducible.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+
+/// The processors sharing a line, as a bitmask. The paper's machines top out
+/// at 88 processors, so 128 bits cover every configuration this simulator
+/// accepts (asserted in [`CoherenceSystem::new`]); membership updates are
+/// single bit operations with no per-entry heap churn.
+#[derive(Copy, Clone, Default, PartialEq, Eq)]
+struct SharerSet(u128);
+
+impl SharerSet {
+    fn insert(&mut self, p: ProcId) {
+        self.0 |= 1u128 << p.0;
+    }
+
+    fn remove(&mut self, p: ProcId) {
+        self.0 &= !(1u128 << p.0);
+    }
+
+    fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    fn contains(&self, p: ProcId) -> bool {
+        (self.0 >> p.0) & 1 == 1
+    }
+
+    fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    fn iter(&self) -> SharerIter {
+        SharerIter(self.0)
+    }
+}
+
+impl std::fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending-`ProcId` iterator over a [`SharerSet`].
+struct SharerIter(u128);
+
+impl Iterator for SharerIter {
+    type Item = ProcId;
+
+    fn next(&mut self) -> Option<ProcId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(ProcId(i))
+    }
 }
 
 /// Kind of memory access.
@@ -125,7 +212,7 @@ pub struct ProtocolStats {
 #[derive(Clone, Debug, Default)]
 struct DirEntry {
     owner: Option<ProcId>,
-    sharers: BTreeSet<ProcId>,
+    sharers: SharerSet,
 }
 
 /// Outcome of one shared-memory access.
@@ -142,15 +229,16 @@ pub struct AccessOutcome {
 #[derive(Clone, Debug)]
 pub struct CoherenceSystem {
     caches: Vec<Cache>,
-    directory: HashMap<u64, DirEntry>,
+    directory: LineMap<DirEntry>,
     /// Per-line occupancy: a line in the middle of a protocol transaction
     /// cannot serve the next request — this is what serializes bursts on
     /// hot (write-shared) lines. One entry per distinct line ever missed;
     /// bounded by the machine's allocated object memory, so it is left to
     /// grow rather than swept.
-    busy_until: HashMap<u64, Cycles>,
+    busy_until: LineMap<Cycles>,
     costs: CoherenceCosts,
-    line_bytes: u64,
+    /// `line_bytes.trailing_zeros()`: line math is a shift, not a division.
+    line_shift: u32,
     words_per_line: u64,
     stats: ProtocolStats,
     tracer: Tracer,
@@ -164,14 +252,18 @@ impl CoherenceSystem {
             cache.line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
+        assert!(
+            processors <= 128,
+            "the sharer bitmask covers at most 128 processors"
+        );
         let line_bytes = cache.line_bytes;
         let words_per_line = cache.words_per_line();
         CoherenceSystem {
             caches: (0..processors).map(|_| Cache::new(cache.clone())).collect(),
-            directory: HashMap::new(),
-            busy_until: HashMap::new(),
+            directory: LineMap::default(),
+            busy_until: LineMap::default(),
             costs,
-            line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
             words_per_line,
             stats: ProtocolStats::default(),
             tracer: Tracer::disabled(),
@@ -188,13 +280,13 @@ impl CoherenceSystem {
     /// Line-granular address containing `addr`.
     #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        addr >> self.line_shift
     }
 
     /// Home processor of a line.
     #[inline]
     pub fn home_of_line(&self, line: u64) -> ProcId {
-        home_of_addr(line * self.line_bytes)
+        home_of_addr(line << self.line_shift)
     }
 
     /// Perform one access by `proc` to global byte address `addr`, issued at
@@ -280,8 +372,7 @@ impl CoherenceSystem {
     }
 
     fn read(&mut self, proc: ProcId, line: u64, net: &mut Network) -> AccessOutcome {
-        if self.caches[proc.index()].probe(line).is_some() {
-            self.caches[proc.index()].touch(line);
+        if self.caches[proc.index()].hit_read(line).is_some() {
             return AccessOutcome {
                 latency: self.costs.hit,
                 hit: true,
@@ -324,8 +415,7 @@ impl CoherenceSystem {
     }
 
     fn write(&mut self, proc: ProcId, line: u64, net: &mut Network) -> AccessOutcome {
-        if self.caches[proc.index()].probe(line) == Some(LineState::Modified) {
-            self.caches[proc.index()].touch(line);
+        if self.caches[proc.index()].hit_modified(line) {
             return AccessOutcome {
                 latency: self.costs.hit,
                 hit: true,
@@ -335,12 +425,8 @@ impl CoherenceSystem {
         let home = self.home_of_line(line);
         let entry = self.directory.entry(line).or_default();
         let owner = entry.owner;
-        let sharers: Vec<ProcId> = entry
-            .sharers
-            .iter()
-            .copied()
-            .filter(|&s| s != proc)
-            .collect();
+        let mut sharers = entry.sharers;
+        sharers.remove(proc);
         // Exclusive request to home (1 word: address).
         let mut latency = xfer(net, proc, home, 1) + self.costs.directory;
         if let Some(o) = owner.filter(|&o| o != proc) {
@@ -357,10 +443,10 @@ impl CoherenceSystem {
             // serially — the cost that makes widely-shared lines expensive
             // to write.
             let mut inval_wait = Cycles::ZERO;
-            for s in &sharers {
+            for s in sharers.iter() {
                 self.stats.invalidations_sent += 1;
-                let there = xfer(net, home, *s, 1);
-                let back = xfer(net, *s, home, 1);
+                let there = xfer(net, home, s, 1);
+                let back = xfer(net, s, home, 1);
                 inval_wait = inval_wait.max(there + self.costs.cache_op + back);
                 self.caches[s.index()].invalidate(line);
             }
@@ -396,7 +482,7 @@ impl CoherenceSystem {
         if let Some(ev) = self.caches[proc.index()].fill(line, state) {
             let ev_home = self.home_of_line(ev.line);
             if let Some(entry) = self.directory.get_mut(&ev.line) {
-                entry.sharers.remove(&proc);
+                entry.sharers.remove(proc);
                 if entry.owner == Some(proc) {
                     entry.owner = None;
                 }
@@ -447,7 +533,7 @@ impl CoherenceSystem {
     pub fn check_invariants(&self) -> Result<(), String> {
         for (&line, entry) in &self.directory {
             if let Some(o) = entry.owner {
-                if entry.sharers.len() != 1 || !entry.sharers.contains(&o) {
+                if entry.sharers.len() != 1 || !entry.sharers.contains(o) {
                     return Err(format!(
                         "line {line:#x}: owner {o:?} but sharers {:?}",
                         entry.sharers
@@ -476,7 +562,7 @@ impl CoherenceSystem {
                                 "line {line:#x}: P{i} Modified without directory ownership"
                             ))
                         }
-                        Some(LineState::Shared) if !entry.sharers.contains(&ProcId(i as u32)) => {
+                        Some(LineState::Shared) if !entry.sharers.contains(ProcId(i as u32)) => {
                             return Err(format!(
                                 "line {line:#x}: P{i} caches line absent from sharer set"
                             ))

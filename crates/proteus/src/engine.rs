@@ -82,37 +82,60 @@ impl<S: Simulation> Engine<S> {
         self.queue.now()
     }
 
+    /// Peak number of pending events over the engine's lifetime.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Run until the queue empties, the time `horizon` is passed, or the
     /// event limit trips. Events stamped exactly at the horizon still run.
+    ///
+    /// The loop touches the queue once per event: `pop_before` fuses the
+    /// peek/pop pair, and the stop classification happens only on the cold
+    /// exit paths. Stop-reason priority (Quiescent over Horizon over
+    /// EventLimit) is unchanged: the limit only fires when a pending event
+    /// within the horizon exists.
     pub fn run_until(&mut self, sim: &mut S, horizon: Cycles) -> RunOutcome {
         let mut events = 0u64;
         loop {
-            match self.queue.peek_time() {
-                None => {
-                    return RunOutcome {
+            if events >= self.event_limit {
+                return match self.queue.peek_time() {
+                    None => RunOutcome {
+                        reason: StopReason::Quiescent,
+                        ended_at: self.queue.now(),
+                        events,
+                    },
+                    Some(t) if t > horizon => {
+                        self.queue.advance_to(horizon);
+                        RunOutcome {
+                            reason: StopReason::Horizon,
+                            ended_at: horizon,
+                            events,
+                        }
+                    }
+                    Some(_) => RunOutcome {
+                        reason: StopReason::EventLimit,
+                        ended_at: self.queue.now(),
+                        events,
+                    },
+                };
+            }
+            let Some((now, ev)) = self.queue.pop_before(horizon) else {
+                return if self.queue.is_empty() {
+                    RunOutcome {
                         reason: StopReason::Quiescent,
                         ended_at: self.queue.now(),
                         events,
                     }
-                }
-                Some(t) if t > horizon => {
+                } else {
                     self.queue.advance_to(horizon);
-                    return RunOutcome {
+                    RunOutcome {
                         reason: StopReason::Horizon,
                         ended_at: horizon,
                         events,
-                    };
-                }
-                Some(_) => {}
-            }
-            if events >= self.event_limit {
-                return RunOutcome {
-                    reason: StopReason::EventLimit,
-                    ended_at: self.queue.now(),
-                    events,
+                    }
                 };
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            };
             self.tracer.emit_with(|| TraceEvent {
                 at: now,
                 source: "engine",

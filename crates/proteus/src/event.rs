@@ -4,11 +4,40 @@
 //! the same cycle pop in the order they were scheduled. This makes entire
 //! simulations bit-for-bit reproducible, which the experiment harness and the
 //! property tests rely on.
+//!
+//! # Two-tier structure
+//!
+//! The queue is split by temporal distance. Events within `WHEEL_SLOTS`
+//! cycles of the current window base land in a timing wheel — one slot per
+//! cycle, with a bitmap over slots so the next occupied slot is found by a
+//! word-wise scan instead of a heap traversal. Events further out overflow
+//! into a binary heap and migrate into the wheel in batches whenever the
+//! wheel drains.
+//!
+//! Determinism does not depend on which tier an event lands in:
+//!
+//! * Wheel slots cover `[wheel_base, wheel_base + WHEEL_SLOTS)` and the heap
+//!   only holds strictly later times, so a wheel event and a heap event can
+//!   never tie on time.
+//! * Within one slot all events share one timestamp. Sequence numbers are
+//!   globally monotone and the clock never runs backwards, so slot pushes —
+//!   whether from `schedule_at` or from draining the heap in `(time, seq)`
+//!   order during a window advance — always append in sequence order. FIFO
+//!   ties therefore come out of plain `push_back`/`pop_front`.
+//! * The window only advances when the wheel is empty, immediately before
+//!   popping the event that defines the new base, so `now >= wheel_base`
+//!   holds whenever callers can observe the queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycles;
+
+/// Width of the near-future window, in cycles (one slot per cycle). Must be
+/// a power of two: slot lookup is a mask, not a division.
+const WHEEL_SLOTS: usize = 4096;
+/// Words in the slot-occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 
 struct Scheduled<E> {
     at: Cycles,
@@ -38,9 +67,18 @@ impl<E> Ord for Scheduled<E> {
 
 /// A time-ordered queue of simulation events.
 pub struct EventQueue<E> {
+    /// Near-future tier: slot `t % WHEEL_SLOTS` holds the events at time `t`
+    /// for `t` in `[wheel_base, wheel_base + WHEEL_SLOTS)`, in FIFO order.
+    slots: Box<[VecDeque<E>]>,
+    /// One bit per slot; set iff the slot is non-empty.
+    occupied: [u64; WHEEL_WORDS],
+    wheel_len: usize,
+    wheel_base: Cycles,
+    /// Far-future tier: events at `wheel_base + WHEEL_SLOTS` or later.
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
     now: Cycles,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -53,9 +91,14 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            wheel_len: 0,
+            wheel_base: Cycles::ZERO,
             heap: BinaryHeap::new(),
             seq: 0,
             now: Cycles::ZERO,
+            peak: 0,
         }
     }
 
@@ -68,13 +111,19 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.heap.len()
     }
 
     /// `true` if no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been (pending events), for profiling.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -88,12 +137,21 @@ impl<E> EventQueue<E> {
             self.now
         );
         let at = at.max(self.now);
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        // `at >= now >= wheel_base`, so the delta cannot underflow.
+        if at.get().wrapping_sub(self.wheel_base.get()) < WHEEL_SLOTS as u64 {
+            self.push_wheel(at, event);
+        } else {
+            self.heap.push(Scheduled {
+                at,
+                seq: self.seq,
+                event,
+            });
+        }
         self.seq += 1;
+        let len = self.wheel_len + self.heap.len();
+        if len > self.peak {
+            self.peak = len;
+        }
     }
 
     /// Schedule `event` at `now + delay`.
@@ -103,14 +161,42 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        let s = self.heap.pop()?;
-        self.now = s.at;
-        Some((s.at, s.event))
+        self.pop_before(Cycles::MAX)
+    }
+
+    /// Pop the earliest event if its timestamp is at or before `horizon`,
+    /// advancing `now` to it. One call replaces a `peek_time` + `pop` pair
+    /// in the event loop's hot path.
+    pub fn pop_before(&mut self, horizon: Cycles) -> Option<(Cycles, E)> {
+        if self.wheel_len == 0 {
+            // Wheel times always precede heap times, so an empty wheel means
+            // the heap's minimum is the queue's minimum. Don't move the
+            // window for an event beyond the horizon.
+            if self.heap.peek()?.at > horizon {
+                return None;
+            }
+            self.refill_wheel();
+        }
+        let (idx, t) = self.wheel_next();
+        if t > horizon {
+            return None;
+        }
+        let event = self.slots[idx].pop_front().expect("occupied slot is empty");
+        if self.slots[idx].is_empty() {
+            self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+        }
+        self.wheel_len -= 1;
+        self.now = t;
+        Some((t, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Cycles> {
-        self.heap.peek().map(|s| s.at)
+        if self.wheel_len > 0 {
+            Some(self.wheel_next().1)
+        } else {
+            self.heap.peek().map(|s| s.at)
+        }
     }
 
     /// Advance the clock to `t` without processing events (used when a run
@@ -122,6 +208,57 @@ impl<E> EventQueue<E> {
             debug_assert!(t <= next, "advance_to would skip pending events");
         }
         self.now = self.now.max(t);
+    }
+
+    #[inline]
+    fn push_wheel(&mut self, at: Cycles, event: E) {
+        let idx = (at.get() as usize) & (WHEEL_SLOTS - 1);
+        self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+        self.slots[idx].push_back(event);
+        self.wheel_len += 1;
+    }
+
+    /// Move the window to the heap's minimum and pull every heap event that
+    /// now fits. Heap pops come out in `(time, seq)` order, so each slot is
+    /// filled in sequence order; all slots are empty when this runs.
+    fn refill_wheel(&mut self) {
+        debug_assert!(self.wheel_len == 0, "window advanced under live slots");
+        let base = self.heap.peek().expect("refill from empty heap").at;
+        self.wheel_base = base;
+        let limit = base.get().saturating_add(WHEEL_SLOTS as u64);
+        while let Some(top) = self.heap.peek() {
+            if top.at.get() >= limit {
+                break;
+            }
+            let s = self.heap.pop().expect("peeked entry exists");
+            self.push_wheel(s.at, s.event);
+        }
+    }
+
+    /// Index and timestamp of the earliest occupied wheel slot. Requires a
+    /// non-empty wheel. Every live slot holds a time in
+    /// `[max(now, wheel_base), wheel_base + WHEEL_SLOTS)` — a span at most
+    /// `WHEEL_SLOTS` wide — so the first set bit in a circular scan from
+    /// `max(now, wheel_base)` is the earliest event.
+    fn wheel_next(&self) -> (usize, Cycles) {
+        debug_assert!(self.wheel_len > 0, "scan of empty wheel");
+        let from = self.now.max(self.wheel_base);
+        let start = (from.get() as usize) & (WHEEL_SLOTS - 1);
+        let mut word = start >> 6;
+        let mut bits = self.occupied[word] & (!0u64 << (start & 63));
+        // `<= WHEEL_WORDS` re-scans the starting word in full after a wrap:
+        // its low bits (times just under one window away) are only reachable
+        // circularly.
+        for _ in 0..=WHEEL_WORDS {
+            if bits != 0 {
+                let idx = (word << 6) | bits.trailing_zeros() as usize;
+                let delta = idx.wrapping_sub(start) & (WHEEL_SLOTS - 1);
+                return (idx, Cycles(from.get() + delta as u64));
+            }
+            word = (word + 1) & (WHEEL_WORDS - 1);
+            bits = self.occupied[word];
+        }
+        unreachable!("wheel_len > 0 but occupancy bitmap is empty");
     }
 }
 
@@ -198,5 +335,106 @@ mod tests {
         q.schedule_at(Cycles(2), 2);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn far_future_events_overflow_to_heap_and_come_back() {
+        let mut q = EventQueue::new();
+        let far = Cycles(10 * WHEEL_SLOTS as u64 + 3);
+        q.schedule_at(far, "far");
+        q.schedule_at(Cycles(1), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycles(1)));
+        assert_eq!(q.pop(), Some((Cycles(1), "near")));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_fifo_across_window_advance() {
+        // All events land in the heap first (far future), then migrate into
+        // the wheel together; same-cycle FIFO order must survive the move,
+        // including for events appended after the window advance.
+        let t = Cycles(3 * WHEEL_SLOTS as u64 + 17);
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        assert_eq!(q.pop(), Some((t, 0)));
+        for i in 10..20 {
+            q.schedule_at(t, i);
+        }
+        for i in 1..20 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_boundary_is_exclusive() {
+        // An event exactly one window away goes to the heap but still pops
+        // in order relative to a wheel event.
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(WHEEL_SLOTS as u64), "boundary");
+        q.schedule_at(Cycles(WHEEL_SLOTS as u64 - 1), "in-window");
+        assert_eq!(q.pop(), Some((Cycles(WHEEL_SLOTS as u64 - 1), "in-window")));
+        assert_eq!(q.pop(), Some((Cycles(WHEEL_SLOTS as u64), "boundary")));
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(10), "a");
+        q.schedule_at(Cycles(20), "b");
+        assert_eq!(q.pop_before(Cycles(5)), None);
+        assert_eq!(q.now(), Cycles::ZERO);
+        assert_eq!(q.pop_before(Cycles(10)), Some((Cycles(10), "a")));
+        assert_eq!(q.pop_before(Cycles(15)), None);
+        assert_eq!(q.pop_before(Cycles(20)), Some((Cycles(20), "b")));
+        assert_eq!(q.pop_before(Cycles::MAX), None);
+    }
+
+    #[test]
+    fn pop_before_does_not_move_window_past_horizon() {
+        // A refused pop must leave the queue observably unchanged.
+        let far = Cycles(5 * WHEEL_SLOTS as u64);
+        let mut q = EventQueue::new();
+        q.schedule_at(far, ());
+        assert_eq!(q.pop_before(Cycles(100)), None);
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(far), Some((far, ())));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        for i in 0..5 {
+            q.schedule_at(Cycles(i), ());
+        }
+        q.pop();
+        q.pop();
+        q.schedule_at(Cycles(9), ());
+        assert_eq!(q.peak_len(), 5);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn long_sparse_run_crosses_many_windows() {
+        let mut q = EventQueue::new();
+        let step = Cycles(WHEEL_SLOTS as u64 / 2 + 1);
+        q.schedule_at(Cycles(1), 0u64);
+        let mut popped = 0u64;
+        while let Some((t, i)) = q.pop() {
+            assert_eq!(i, popped);
+            assert_eq!(q.now(), t);
+            popped += 1;
+            if popped < 50 {
+                q.schedule_after(step, popped);
+            }
+        }
+        assert_eq!(popped, 50);
     }
 }

@@ -80,6 +80,10 @@ impl std::error::Error for SendError {}
 pub struct Network {
     mesh: Mesh,
     processors: u32,
+    /// Grid coordinates of every processor, precomputed: hop counts are on
+    /// the critical path of every message and coherence transaction, and the
+    /// mesh's division-based coordinate math would dominate them.
+    coords: Vec<(u32, u32)>,
     config: NetworkConfig,
     traffic: TrafficStats,
     tracer: Tracer,
@@ -88,9 +92,12 @@ pub struct Network {
 impl Network {
     /// A network over the most-square mesh for `processors` nodes.
     pub fn new(processors: u32, config: NetworkConfig) -> Network {
+        let mesh = Mesh::for_processors(processors);
+        let coords = (0..processors).map(|p| mesh.coords(ProcId(p))).collect();
         Network {
-            mesh: Mesh::for_processors(processors),
+            mesh,
             processors,
+            coords,
             config,
             traffic: TrafficStats::default(),
             tracer: Tracer::disabled(),
@@ -136,7 +143,15 @@ impl Network {
 
     /// Hop count between two processors.
     pub fn hops(&self, src: ProcId, dst: ProcId) -> u32 {
-        self.mesh.hops(src, dst)
+        match (
+            self.coords.get(src.0 as usize),
+            self.coords.get(dst.0 as usize),
+        ) {
+            (Some(&(ax, ay)), Some(&(bx, by))) => ax.abs_diff(bx) + ay.abs_diff(by),
+            // Processors outside the machine still get mesh geometry (the
+            // precomputed table only covers configured processors).
+            _ => self.mesh.hops(src, dst),
+        }
     }
 
     /// Transit latency for a message from `src` to `dst` (independent of
@@ -172,7 +187,7 @@ impl Network {
         let words = self.config.header_words + payload_words;
         let hops = self.hops(src, dst);
         self.traffic.record(words, hops);
-        Ok(self.latency(src, dst))
+        Ok(self.config.launch + self.config.per_hop * u64::from(hops))
     }
 
     /// [`Network::send`] plus a trace record stamped `at` — for callers that

@@ -102,6 +102,15 @@ impl CycleAccounting {
         *self.events.entry(category).or_insert(0) += 1;
     }
 
+    /// Charge `total` cycles to `category` as `count` occurrences, as if
+    /// `charge` had been called `count` times summing to `total`. Lets dense
+    /// per-id accumulators expand into the name-keyed report form without
+    /// replaying individual charges.
+    pub fn charge_n(&mut self, category: &'static str, total: Cycles, count: u64) {
+        *self.by_category.entry(category).or_insert(0) += total.get();
+        *self.events.entry(category).or_insert(0) += count;
+    }
+
     /// Total cycles charged to `category`.
     pub fn total(&self, category: &str) -> u64 {
         self.by_category.get(category).copied().unwrap_or(0)
