@@ -10,10 +10,14 @@
 //! format. `--faults <seed>` additionally runs both applications under the
 //! deterministic chaos fault plan (`proteus::FaultPlan::chaos(seed)`) and
 //! emits a `fault_sweep` artifact alongside whatever the positional target
-//! selects; given `--faults` with no positional target, only the sweep
-//! runs. The fault-free artifacts are byte-identical whether or not
-//! `--faults` is passed (CI checks this). With `--json <path>` the same
-//! runs are also written to `<path>` as a machine-readable document:
+//! selects; `--faults <a..b>` sweeps every seed in the half-open range.
+//! `--failover <seed>` runs the failover chaos sweep instead: one permanent
+//! mid-run processor crash per cell with failure detection and primary-
+//! backup replication on, every cell asserting application validity. Given
+//! `--faults`/`--failover` with no positional target, only that sweep runs.
+//! The fault-free artifacts are byte-identical whether or not these flags
+//! are passed (CI checks this). With `--json <path>` the same runs are also
+//! written to `<path>` as a machine-readable document:
 //!
 //! ```text
 //! {"schema_version":1,"artifacts":{"fig1":...,"fig2":...,...}}
@@ -36,7 +40,23 @@ use migrate_rt::Scheme;
 
 include!("../alloc_counter.rs");
 
-const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults] [--json <path>] [--faults <seed>] [--jobs <n>] [--profile <path>]";
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults|failover] [--json <path>] [--faults <seed>|<a..b>] [--failover <seed>] [--jobs <n>] [--profile <path>]";
+
+/// The `--faults` argument: one seed, or a half-open `a..b` range of them.
+#[derive(Copy, Clone, Debug)]
+enum SeedSpec {
+    One(u64),
+    Range(u64, u64),
+}
+
+fn parse_seed_spec(s: &str) -> Option<SeedSpec> {
+    if let Some((a, b)) = s.split_once("..") {
+        let (a, b) = (a.parse().ok()?, b.parse().ok()?);
+        (a < b).then_some(SeedSpec::Range(a, b))
+    } else {
+        s.parse().ok().map(SeedSpec::One)
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,7 +102,27 @@ fn main() {
     let faults_seed = match args.iter().position(|a| a == "--faults") {
         Some(i) => {
             if i + 1 >= args.len() {
-                eprintln!("--faults requires a seed\n{USAGE}");
+                eprintln!("--faults requires a seed or range\n{USAGE}");
+                std::process::exit(2);
+            }
+            let seed = args.remove(i + 1);
+            args.remove(i);
+            match parse_seed_spec(&seed) {
+                Some(spec) => Some(spec),
+                None => {
+                    eprintln!(
+                        "--faults takes an integer seed or an a..b range (a < b), got {seed:?}\n{USAGE}"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let failover_seed = match args.iter().position(|a| a == "--failover") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--failover requires a seed\n{USAGE}");
                 std::process::exit(2);
             }
             let seed = args.remove(i + 1);
@@ -90,7 +130,7 @@ fn main() {
             match seed.parse::<u64>() {
                 Ok(s) => Some(s),
                 Err(_) => {
-                    eprintln!("--faults seed must be an integer, got {seed:?}\n{USAGE}");
+                    eprintln!("--failover seed must be an integer, got {seed:?}\n{USAGE}");
                     std::process::exit(2);
                 }
             }
@@ -98,7 +138,9 @@ fn main() {
         None => None,
     };
     let arg = args.first().cloned().unwrap_or_else(|| {
-        if faults_seed.is_some() {
+        if failover_seed.is_some() && faults_seed.is_none() {
+            "failover".to_string()
+        } else if faults_seed.is_some() {
             "faults".to_string()
         } else {
             "all".to_string()
@@ -117,6 +159,7 @@ fn main() {
         "fanout10",
         "extensions",
         "faults",
+        "failover",
     ];
     if !known.contains(&arg.as_str()) || args.len() > 1 {
         eprintln!("unknown arguments {args:?}\n{USAGE}");
@@ -147,7 +190,10 @@ fn main() {
         extensions(&mut emit);
     }
     if arg == "faults" || faults_seed.is_some() {
-        faults(faults_seed.unwrap_or(0), &mut emit);
+        faults(faults_seed.unwrap_or(SeedSpec::One(0)), &mut emit);
+    }
+    if arg == "failover" || failover_seed.is_some() {
+        failover(failover_seed.unwrap_or(0), &mut emit);
     }
     if let Some(path) = json_path {
         let doc = obj(vec![
@@ -177,13 +223,9 @@ fn main() {
 
 type Emit<'a> = &'a mut dyn FnMut(&str, Json);
 
-fn faults(seed: u64, emit: Emit) {
-    println!("== Fault sweep: deterministic chaos plan, seed {seed} ==");
-    println!("(drops, duplicates, delays, stalls, crash-restarts; recovery via");
-    println!(" acks + timeout/retry, migrations degrade to RPC on exhaustion)\n");
-    let rows = bench::fault_sweep(seed);
-    print!("{}", render_rows("measured under faults:", &rows));
-    for row in &rows {
+fn print_fault_rows(rows: &[bench::Row]) {
+    print!("{}", render_rows("measured under faults:", rows));
+    for row in rows {
         if let Some(r) = &row.metrics.recovery {
             println!(
                 "  {}: retries {}  dup-suppressed {}  rpc-fallbacks {}  lost {}",
@@ -192,8 +234,78 @@ fn faults(seed: u64, emit: Emit) {
         }
     }
     println!();
+}
+
+fn faults(spec: SeedSpec, emit: Emit) {
+    println!("== Fault sweep: deterministic chaos plan ==");
+    println!("(drops, duplicates, delays, stalls, crash-restarts; recovery via");
+    println!(" acks + timeout/retry, migrations degrade to RPC on exhaustion)\n");
+    match spec {
+        SeedSpec::One(seed) => {
+            println!("seed {seed}:");
+            let rows = bench::fault_sweep(seed);
+            print_fault_rows(&rows);
+            emit(
+                "fault_sweep",
+                obj(vec![
+                    ("seed", Json::Int(seed)),
+                    ("rows", rows_to_json(&rows)),
+                ]),
+            );
+        }
+        SeedSpec::Range(a, b) => {
+            let runs: Vec<Json> = (a..b)
+                .map(|seed| {
+                    println!("seed {seed}:");
+                    let rows = bench::fault_sweep(seed);
+                    print_fault_rows(&rows);
+                    obj(vec![
+                        ("seed", Json::Int(seed)),
+                        ("rows", rows_to_json(&rows)),
+                    ])
+                })
+                .collect();
+            emit(
+                "fault_sweep",
+                obj(vec![
+                    (
+                        "seed_range",
+                        obj(vec![("start", Json::Int(a)), ("end", Json::Int(b))]),
+                    ),
+                    ("runs", Json::Arr(runs)),
+                ]),
+            );
+        }
+    }
+}
+
+fn failover(seed: u64, emit: Emit) {
+    println!("== Failover sweep: one permanent processor crash per cell, seed {seed} ==");
+    println!("(heartbeat failure detection, primary-backup replication, deterministic");
+    println!(" re-homing; every cell asserts token conservation / B-tree invariants");
+    println!(" and exactly one backup promotion)\n");
+    let rows = bench::failover_sweep(seed);
+    print!(
+        "{}",
+        render_rows("measured under one processor death:", &rows)
+    );
+    for row in &rows {
+        if let Some(f) = &row.metrics.failover {
+            println!(
+                "  {}: suspicions {}  promotions {}  rehomed {}  rerouted {}  deltas {} ({} words)",
+                row.label,
+                f.suspicions,
+                f.promotions,
+                f.rehomed_objects,
+                f.rerouted_calls,
+                f.replication_deltas,
+                f.replication_words
+            );
+        }
+    }
+    println!();
     emit(
-        "fault_sweep",
+        "failover",
         obj(vec![
             ("seed", Json::Int(seed)),
             ("rows", rows_to_json(&rows)),

@@ -227,6 +227,188 @@ pub fn fault_sweep(seed: u64) -> Vec<Row> {
         .collect()
 }
 
+/// The eight scheme families the runtime implements (the paper's three plus
+/// hardware/replication variants and the DESIGN.md §7 extensions), used by
+/// the failover chaos sweep: a processor death must be survivable no matter
+/// which mechanism carries the traffic.
+pub fn failover_schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("SM", Scheme::shared_memory()),
+        ("RPC", Scheme::rpc()),
+        ("RPC+HW", Scheme::rpc().with_hardware()),
+        ("CM", Scheme::computation_migration()),
+        ("CM+HW", Scheme::computation_migration().with_hardware()),
+        (
+            "CM+repl",
+            Scheme::computation_migration().with_replication(),
+        ),
+        ("OM", Scheme::object_migration()),
+        ("TM", Scheme::thread_migration()),
+    ]
+}
+
+/// Horizon for failover cells: long enough for the kill, the ~225k-cycle
+/// detection latency (heartbeat interval + exhausted retransmissions), the
+/// promotion, and a full post-failover drain of every capped driver.
+pub const FAILOVER_HORIZON: Cycles = Cycles(8_000_000);
+
+/// One failover counting cell: capped drivers, one balancer processor
+/// permanently killed mid-run, failure detection + replication on.
+///
+/// Panics unless the run ends **valid**: the victim was declared dead by
+/// exactly one suspicion/promotion, the cycle audit closes, no token was
+/// duplicated, and every token not forfeited by a thread that died with the
+/// victim made it out of the network.
+pub fn failover_cell_counting(seed: u64, scheme: Scheme) -> RunMetrics {
+    let requesters = 4u32;
+    let per_thread = 6u64;
+    // Victims rotate over the 24 balancer processors: they host network
+    // objects but no driver threads (except transiently under thread
+    // migration), so the kill exercises re-homing rather than plain loss.
+    let victim = proteus::ProcId((seed % 24) as u32);
+    let at = Cycles(25_000 + 2_500 * (seed % 8));
+    let exp = CountingExperiment {
+        requests_per_thread: Some(per_thread),
+        faults: Some(proteus::FaultPlan::fail_stop(victim, at)),
+        failover: migrate_rt::FailoverConfig {
+            enabled: true,
+            ..Default::default()
+        },
+        audit: true,
+        seed: 0xC0DE ^ seed,
+        ..CountingExperiment::paper(requesters, 0, scheme)
+    };
+    let (mut runner, spec) = exp.build();
+    runner.run_until(FAILOVER_HORIZON);
+    runner
+        .system
+        .audit()
+        .unwrap_or_else(|e| panic!("seed {seed}: audit failed under failover: {e}"));
+    assert!(
+        runner.system.is_declared_dead(victim),
+        "seed {seed}: victim {victim:?} never declared dead"
+    );
+    let f = runner.system.failover_stats().clone();
+    assert_eq!(f.suspicions, 1, "seed {seed}: suspicions {f:?}");
+    assert_eq!(f.promotions, 1, "seed {seed}: promotions {f:?}");
+    let total: u64 = spec
+        .counters_in_output_order()
+        .iter()
+        .map(|&g| {
+            runner
+                .system
+                .objects()
+                .state::<migrate_apps::counting::OutputCounter>(g)
+                .expect("counter state")
+                .count
+        })
+        .sum();
+    let issued = u64::from(requesters) * per_thread;
+    assert!(
+        total <= issued,
+        "seed {seed}: token duplicated ({total} > {issued})"
+    );
+    // Each thread that died with the victim forfeits at most its full
+    // quota; every other token must have survived via reroute/re-home.
+    assert!(
+        total >= issued.saturating_sub(f.threads_lost * per_thread),
+        "seed {seed}: tokens lost beyond dead threads \
+         (exited {total}, issued {issued}, threads lost {})",
+        f.threads_lost
+    );
+    runner.system.metrics(FAILOVER_HORIZON)
+}
+
+/// One failover B-tree cell: capped requesters, one data processor (object
+/// host) permanently killed mid-run, failure detection + replication on.
+///
+/// Panics unless the run ends **valid**: exactly one suspicion/promotion,
+/// audit closed, and the re-homed tree still satisfies every structural
+/// invariant with a key population bounded by the issued inserts.
+pub fn failover_cell_btree(seed: u64, scheme: Scheme) -> RunMetrics {
+    let initial = 120u64;
+    let requesters = 4u32;
+    let per_thread = 5u64;
+    let data_procs = 8u32;
+    let victim = proteus::ProcId((seed % u64::from(data_procs)) as u32);
+    let at = Cycles(30_000 + 3_000 * (seed % 8));
+    let exp = BTreeExperiment {
+        initial_keys: initial,
+        fanout: 8,
+        data_procs,
+        requesters,
+        key_space: 1 << 16,
+        requests_per_thread: Some(per_thread),
+        faults: Some(proteus::FaultPlan::fail_stop(victim, at)),
+        failover: migrate_rt::FailoverConfig {
+            enabled: true,
+            ..Default::default()
+        },
+        audit: true,
+        seed: 0xB7EE ^ seed,
+        ..BTreeExperiment::paper(0, scheme)
+    };
+    let (mut runner, root) = exp.build();
+    runner.run_until(FAILOVER_HORIZON);
+    runner
+        .system
+        .audit()
+        .unwrap_or_else(|e| panic!("seed {seed}: audit failed under failover: {e}"));
+    assert!(
+        runner.system.is_declared_dead(victim),
+        "seed {seed}: victim {victim:?} never declared dead"
+    );
+    let f = runner.system.failover_stats().clone();
+    assert_eq!(f.suspicions, 1, "seed {seed}: suspicions {f:?}");
+    assert_eq!(f.promotions, 1, "seed {seed}: promotions {f:?}");
+    let stats = migrate_apps::btree::verify_tree(&runner.system, root)
+        .unwrap_or_else(|e| panic!("seed {seed}: tree corrupt after failover: {e}"));
+    assert!(
+        stats.keys >= initial,
+        "seed {seed}: keys vanished ({} < {initial})",
+        stats.keys
+    );
+    assert!(
+        stats.keys <= initial + u64::from(requesters) * per_thread,
+        "seed {seed}: more keys than inserts issued ({})",
+        stats.keys
+    );
+    runner.system.metrics(FAILOVER_HORIZON)
+}
+
+/// The `--failover <seed>` chaos sweep: both applications under every scheme
+/// family, one permanent mid-run processor crash per cell. Each cell asserts
+/// its own application validity (token conservation, B-tree invariants) and
+/// exactly one backup promotion; the returned rows carry the metrics for the
+/// JSON artifact. Deterministic for a given seed.
+pub fn failover_sweep(seed: u64) -> Vec<Row> {
+    let schemes = failover_schemes();
+    let cells: Vec<(bool, &'static str, Scheme)> = schemes
+        .iter()
+        .map(|&(name, s)| (true, name, s))
+        .chain(schemes.iter().map(|&(name, s)| (false, name, s)))
+        .collect();
+    let metrics = pool::map_indexed(&cells, |&(is_counting, _, s)| {
+        if is_counting {
+            failover_cell_counting(seed, s)
+        } else {
+            failover_cell_btree(seed, s)
+        }
+    });
+    cells
+        .iter()
+        .zip(metrics)
+        .map(|(&(is_counting, name, _), metrics)| Row {
+            label: format!(
+                "{} {}",
+                if is_counting { "counting" } else { "btree" },
+                name
+            ),
+            metrics,
+        })
+        .collect()
+}
+
 // ----------------------------------------------------------------------
 // Self-measurement: the `--profile` mode / `perf` harness
 // ----------------------------------------------------------------------
@@ -568,6 +750,22 @@ pub fn metrics_to_json(m: &RunMetrics) -> Json {
                 ("fallbacks", Json::Int(r.fallbacks)),
                 ("frames_reclaimed", Json::Int(r.frames_reclaimed)),
                 ("messages_lost", Json::Int(r.messages_lost)),
+            ]),
+        ));
+    }
+    if let Some(f) = &m.failover {
+        fields.push((
+            "failover",
+            obj(vec![
+                ("heartbeats_sent", Json::Int(f.heartbeats_sent)),
+                ("suspicions", Json::Int(f.suspicions)),
+                ("promotions", Json::Int(f.promotions)),
+                ("rehomed_objects", Json::Int(f.rehomed_objects)),
+                ("frames_lost", Json::Int(f.frames_lost)),
+                ("threads_lost", Json::Int(f.threads_lost)),
+                ("rerouted_calls", Json::Int(f.rerouted_calls)),
+                ("replication_deltas", Json::Int(f.replication_deltas)),
+                ("replication_words", Json::Int(f.replication_words)),
             ]),
         ));
     }

@@ -542,6 +542,9 @@ pub struct BTreeExperiment {
     pub faults: Option<proteus::FaultPlan>,
     /// Recovery-protocol tuning (only consulted when `faults` is set).
     pub recovery: migrate_rt::RecoveryConfig,
+    /// Failure detection + primary-backup replication (off by default; the
+    /// disabled path is byte-identical to a build without failover).
+    pub failover: migrate_rt::FailoverConfig,
 }
 
 impl BTreeExperiment {
@@ -565,6 +568,7 @@ impl BTreeExperiment {
             audit: false,
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
+            failover: migrate_rt::FailoverConfig::default(),
         }
     }
 
@@ -586,6 +590,7 @@ impl BTreeExperiment {
         cfg.audit = self.audit;
         cfg.faults = self.faults.clone();
         cfg.recovery = self.recovery.clone();
+        cfg.failover = self.failover.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -875,6 +880,7 @@ mod tests {
             audit: false,
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
+            failover: migrate_rt::FailoverConfig::default(),
         }
     }
 

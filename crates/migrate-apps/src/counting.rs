@@ -526,6 +526,9 @@ pub struct CountingExperiment {
     pub faults: Option<proteus::FaultPlan>,
     /// Recovery-protocol tuning (only consulted when `faults` is set).
     pub recovery: migrate_rt::RecoveryConfig,
+    /// Failure detection + primary-backup replication (off by default; the
+    /// disabled path is byte-identical to a build without failover).
+    pub failover: migrate_rt::FailoverConfig,
 }
 
 impl CountingExperiment {
@@ -547,6 +550,7 @@ impl CountingExperiment {
             audit: false,
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
+            failover: migrate_rt::FailoverConfig::default(),
         }
     }
 
@@ -567,6 +571,7 @@ impl CountingExperiment {
         cfg.audit = self.audit;
         cfg.faults = self.faults.clone();
         cfg.recovery = self.recovery.clone();
+        cfg.failover = self.failover.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }

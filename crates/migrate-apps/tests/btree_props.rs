@@ -137,6 +137,7 @@ proptest! {
             audit: true,
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
+            failover: migrate_rt::FailoverConfig::default(),
         };
         let (mut runner, root) = exp.build();
         runner.run_until(Cycles(1_500_000));

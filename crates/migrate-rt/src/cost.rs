@@ -76,6 +76,20 @@ pub mod categories {
     pub const FAULT_STALL: &str = "fault.stall";
     /// Injected processor crash-restart outage (fault injection).
     pub const FAULT_CRASH: &str = "fault.crash_restart";
+    /// Failure detector: composing/handling a heartbeat probe.
+    pub const RECOVERY_HEARTBEAT: &str = "recovery.heartbeat";
+    /// Failure detector: declaring a silent processor dead.
+    pub const RECOVERY_SUSPICION: &str = "recovery.suspicion";
+    /// Failover: promoting a backup after a processor is declared dead.
+    pub const RECOVERY_PROMOTION: &str = "recovery.promotion";
+    /// Failover: re-homing one object from a dead processor to its backup.
+    pub const RECOVERY_REHOME: &str = "recovery.rehome";
+    /// Failover: rerouting an in-flight envelope away from a dead processor.
+    pub const RECOVERY_REROUTE: &str = "recovery.reroute";
+    /// Primary-backup replication: shipping a state delta to the backup.
+    pub const REPLICATION_DELTA_SEND: &str = "replication.delta_send";
+    /// Primary-backup replication: applying a state delta at the backup.
+    pub const REPLICATION_DELTA_APPLY: &str = "replication.delta_apply";
 
     /// Every category the runtime may charge, in report order. The audit
     /// mode checks each charged category against this registry, so a new
@@ -107,6 +121,13 @@ pub mod categories {
         RECOVERY_RECLAIM,
         FAULT_STALL,
         FAULT_CRASH,
+        RECOVERY_HEARTBEAT,
+        RECOVERY_SUSPICION,
+        RECOVERY_PROMOTION,
+        RECOVERY_REHOME,
+        RECOVERY_REROUTE,
+        REPLICATION_DELTA_SEND,
+        REPLICATION_DELTA_APPLY,
     ];
 }
 
@@ -179,6 +200,13 @@ define_category_ids!(
     RECOVERY_RECLAIM,
     FAULT_STALL,
     FAULT_CRASH,
+    RECOVERY_HEARTBEAT,
+    RECOVERY_SUSPICION,
+    RECOVERY_PROMOTION,
+    RECOVERY_REHOME,
+    RECOVERY_REROUTE,
+    REPLICATION_DELTA_SEND,
+    REPLICATION_DELTA_APPLY,
 );
 
 /// The registry mapping dense [`CategoryId`]s to and from category names.
@@ -334,6 +362,22 @@ pub struct CostModel {
     /// Reclaiming the buffered frames of a migration that fell back to RPC
     /// (recovery protocol; only charged under fault injection).
     pub frame_reclaim: Cycles,
+    /// Composing or handling one failure-detector heartbeat probe (only
+    /// charged when failover is enabled).
+    pub heartbeat_probe: Cycles,
+    /// Declaring a silent processor dead (failure detector).
+    pub suspicion: Cycles,
+    /// Fixed cost of promoting a backup after a death declaration.
+    pub promotion: Cycles,
+    /// Re-homing one object from a dead processor to its backup.
+    pub rehome_per_object: Cycles,
+    /// Rerouting one in-flight envelope away from a dead processor.
+    pub reroute: Cycles,
+    /// Composing and shipping one replication state delta (plus normal
+    /// per-word marshalling at the sender).
+    pub delta_send: Cycles,
+    /// Applying one replication state delta at the backup.
+    pub delta_apply: Cycles,
 }
 
 impl Default for CostModel {
@@ -362,6 +406,13 @@ impl Default for CostModel {
             dedup_check: Cycles(12),
             timeout_handler: Cycles(24),
             frame_reclaim: Cycles(60),
+            heartbeat_probe: Cycles(20),
+            suspicion: Cycles(40),
+            promotion: Cycles(400),
+            rehome_per_object: Cycles(80),
+            reroute: Cycles(60),
+            delta_send: Cycles(40),
+            delta_apply: Cycles(30),
         }
     }
 }
@@ -514,6 +565,10 @@ mod tests {
         );
         assert_eq!(category_ids::LOCK_STALL.name(), categories::LOCK_STALL);
         assert_eq!(category_ids::FAULT_CRASH.name(), categories::FAULT_CRASH);
+        assert_eq!(
+            category_ids::REPLICATION_DELTA_APPLY.name(),
+            categories::REPLICATION_DELTA_APPLY
+        );
         for (i, id) in CategoryTable::iter().enumerate() {
             assert_eq!(id.index(), i);
             assert_eq!(CategoryTable::id(id.name()), Some(id));

@@ -82,6 +82,15 @@ pub enum RuntimeError {
         /// Number of frames reclaimed.
         frames: u64,
     },
+    /// An in-flight envelope addressed a processor that was declared dead
+    /// and could not be rerouted to a live destination (failover). The
+    /// envelope was dropped.
+    UnroutableToDead {
+        /// The dead destination.
+        dst: ProcId,
+        /// Sequence number of the dropped envelope.
+        seq: u64,
+    },
 }
 
 impl RuntimeError {
@@ -96,6 +105,7 @@ impl RuntimeError {
             RuntimeError::MigrationTimeout { .. } => "migration_timeout",
             RuntimeError::DuplicateDelivery { .. } => "duplicate_delivery",
             RuntimeError::FrameReclaimed { .. } => "frame_reclaimed",
+            RuntimeError::UnroutableToDead { .. } => "unroutable_to_dead",
         }
     }
 }
@@ -140,6 +150,12 @@ impl std::fmt::Display for RuntimeError {
                     "{frames} orphaned frame(s) of terminated {thread:?} reclaimed at {at:?}"
                 )
             }
+            RuntimeError::UnroutableToDead { dst, seq } => {
+                write!(
+                    f,
+                    "envelope #{seq} to dead {dst:?} could not be rerouted; dropped"
+                )
+            }
         }
     }
 }
@@ -181,6 +197,10 @@ mod tests {
                 thread: ThreadId(0),
                 at: ProcId(0),
                 frames: 2,
+            },
+            RuntimeError::UnroutableToDead {
+                dst: ProcId(3),
+                seq: 11,
             },
         ];
         let codes: Vec<&str> = all.iter().map(RuntimeError::code).collect();

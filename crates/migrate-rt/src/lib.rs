@@ -89,7 +89,7 @@ pub use mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme}
 pub use message::{Message, MessageKind, Payload};
 pub use object::{Behavior, MethodEnv, ObjectEntry, ObjectTable};
 pub use system::{
-    AuditSummary, EngineProfile, Event, MachineConfig, ProcWindowStats, RecoveryConfig,
-    RecoveryStats, RunMetrics, Runner, System,
+    AuditSummary, EngineProfile, Event, FailoverConfig, FailoverStats, MachineConfig,
+    ProcWindowStats, RecoveryConfig, RecoveryStats, RunMetrics, Runner, System,
 };
 pub use types::{Goid, MethodId, ThreadId, Word, WordVec};

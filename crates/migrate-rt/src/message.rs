@@ -108,6 +108,22 @@ pub enum Payload {
         /// The acknowledged envelope.
         seq: u64,
     },
+    /// Failure detector: a heartbeat probe. Carries no data — the probe's
+    /// delivery acknowledgement *is* the liveness evidence; a probe whose
+    /// retransmissions exhaust declares the destination dead. Only sent when
+    /// failover is enabled.
+    Heartbeat,
+    /// Primary-backup replication: a sequence-numbered state delta shipped
+    /// from an object's primary to its backup after a mutating method. Only
+    /// sent when failover is enabled.
+    BackupDelta {
+        /// The mutated object.
+        target: Goid,
+        /// Per-object delta sequence number (the backup applies in order).
+        delta_seq: u64,
+        /// Words of delta payload (the mutated footprint of the method).
+        words: u64,
+    },
 }
 
 impl Payload {
@@ -132,6 +148,9 @@ impl Payload {
             Payload::OperationReturn { results, .. } => 1 + results.len() as u64,
             Payload::ReplicaUpdate { words, .. } => 1 + words,
             Payload::Ack { .. } => 1,
+            Payload::Heartbeat => 1,
+            // goid + delta seq + the delta body
+            Payload::BackupDelta { words, .. } => 2 + words,
         }
     }
 
@@ -147,6 +166,8 @@ impl Payload {
             Payload::OperationReturn { .. } => MessageKind::OperationReturn,
             Payload::ReplicaUpdate { .. } => MessageKind::ReplicaUpdate,
             Payload::Ack { .. } => MessageKind::Ack,
+            Payload::Heartbeat => MessageKind::Heartbeat,
+            Payload::BackupDelta { .. } => MessageKind::BackupDelta,
         }
     }
 }
@@ -172,6 +193,10 @@ pub enum MessageKind {
     ReplicaUpdate,
     /// Recovery-protocol delivery acknowledgement.
     Ack,
+    /// Failure-detector heartbeat probe.
+    Heartbeat,
+    /// Primary-backup replication state delta.
+    BackupDelta,
 }
 
 /// A message in flight.
@@ -304,6 +329,20 @@ mod tests {
         let p = Payload::Ack { seq: 12345 };
         assert_eq!(p.words(), 1);
         assert_eq!(p.kind(), MessageKind::Ack);
+    }
+
+    #[test]
+    fn failover_message_sizes() {
+        let hb = Payload::Heartbeat;
+        assert_eq!(hb.words(), 1);
+        assert_eq!(hb.kind(), MessageKind::Heartbeat);
+        let d = Payload::BackupDelta {
+            target: Goid(4),
+            delta_seq: 9,
+            words: 6,
+        };
+        assert_eq!(d.words(), 8);
+        assert_eq!(d.kind(), MessageKind::BackupDelta);
     }
 
     #[test]

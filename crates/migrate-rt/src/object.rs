@@ -129,6 +129,24 @@ impl ObjectTable {
         goid
     }
 
+    /// Re-home an object at `new_home`, allocating fresh line-aligned memory
+    /// in the new home's address space (the old allocation is simply
+    /// abandoned — its owner is dead). Used by failover promotion: when a
+    /// processor is declared dead, each object it homed flips to its backup
+    /// and needs a real address there so shared-memory traffic stays
+    /// realistic.
+    pub fn rehome(&mut self, goid: Goid, new_home: ProcId) {
+        const LINE: u64 = 16;
+        let size = self.entry(goid).size_bytes;
+        let offset = self.next_offset.entry(new_home).or_insert(0);
+        let base_addr = make_addr(new_home, *offset);
+        *offset += size.div_ceil(LINE) * LINE;
+        let entry = self.entry_mut(goid);
+        entry.home = new_home;
+        entry.base_addr = base_addr;
+        entry.lock_free_at = Cycles::ZERO;
+    }
+
     /// Mark an object as software-replicated (read-only methods may be
     /// served by a local replica when the scheme enables replication).
     pub fn set_replicated(&mut self, goid: Goid, replicated: bool) {
@@ -283,6 +301,22 @@ mod tests {
         assert!(!t.entry(g).replicated);
         t.set_replicated(g, true);
         assert!(t.entry(g).replicated);
+    }
+
+    #[test]
+    fn rehome_moves_home_and_reallocates_address() {
+        let mut t = ObjectTable::new();
+        let g = t.create(Box::new(Dummy { size: 24, hits: 0 }), ProcId(0));
+        // Pre-existing allocation at the new home; rehome must not collide.
+        let other = t.create(Box::new(Dummy { size: 16, hits: 0 }), ProcId(2));
+        t.rehome(g, ProcId(2));
+        assert_eq!(t.home(g), ProcId(2));
+        let e = t.entry(g);
+        assert_eq!(home_of_addr(e.base_addr), ProcId(2));
+        assert_eq!(e.base_addr % 16, 0);
+        assert_ne!(e.base_addr, t.entry(other).base_addr);
+        // State survives the move.
+        assert!(t.state::<Dummy>(g).is_some());
     }
 
     #[test]

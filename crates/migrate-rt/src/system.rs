@@ -12,7 +12,7 @@
 //!   migration-specific charges are additionally folded into a separate
 //!   accounting that regenerates Table 5 itself.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use proteus::coherence::Access;
 use proteus::engine::{Engine, Simulation};
@@ -76,6 +76,81 @@ pub struct MachineConfig {
     /// Recovery-protocol tuning (timeouts, backoff, retry budget). Ignored
     /// unless [`MachineConfig::faults`] is set.
     pub recovery: RecoveryConfig,
+    /// Fail-stop tolerance layer: heartbeat failure detection plus
+    /// primary-backup object replication. Off by default; when off, the
+    /// runtime's behaviour is bit-identical to a build without the feature
+    /// (no probes, no deltas, no extra state consulted on the hot path).
+    pub failover: FailoverConfig,
+}
+
+/// Configuration of the fail-stop tolerance layer: a heartbeat-based failure
+/// detector plus primary-backup replication of object state.
+///
+/// The detector is a ring: each live processor periodically probes its
+/// successor (skipping processors already declared dead) with a
+/// [`Payload::Heartbeat`] envelope. The probe rides the same sequence-
+/// numbered ack/retry machinery as every other message, so "no ack after
+/// [`FailoverConfig::max_heartbeat_attempts`] sends" is the suspicion
+/// criterion — deterministic, and safe against queueing delay because the
+/// retransmission timeouts are far above one service round-trip. Exactly one
+/// processor (the ring predecessor) probes each node, so a permanent crash
+/// produces exactly one suspicion and one promotion.
+///
+/// Replication: every object gets a deterministic backup home (the next
+/// live processor after its primary, mod machine size). Mutating methods at
+/// the primary ship a sequence-numbered [`Payload::BackupDelta`] to the
+/// backup, charged to `replication.*` categories. On declared death the
+/// backup already holds the state: the directory re-homes the victim's
+/// objects to their backups and in-flight traffic is rerouted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Master switch. When `false` nothing below is consulted.
+    pub enabled: bool,
+    /// Period of the ring heartbeat probe.
+    pub heartbeat_interval: Cycles,
+    /// Send attempts a Heartbeat envelope gets before the prober declares
+    /// the destination dead (the suspicion threshold). With the default
+    /// recovery timeouts, 3 attempts ≈ 175k cycles of silence.
+    pub max_heartbeat_attempts: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            enabled: false,
+            heartbeat_interval: Cycles(50_000),
+            max_heartbeat_attempts: 3,
+        }
+    }
+}
+
+/// Counters of failure-detection and replication activity in a window (only
+/// collected when [`MachineConfig::failover`] is enabled).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Heartbeat probes sent by the ring detector.
+    pub heartbeats_sent: u64,
+    /// Processors suspected dead (heartbeat retry budget exhausted).
+    pub suspicions: u64,
+    /// Backup promotions performed (one per declared-dead processor).
+    pub promotions: u64,
+    /// Objects re-homed from a dead primary to their backup.
+    pub rehomed_objects: u64,
+    /// Activation frames destroyed with a dead processor (reclaimed, never
+    /// recovered — threads are state machines, so the work they represented
+    /// is lost, not replayed).
+    pub frames_lost: u64,
+    /// Threads terminated by a processor death: threads homed at the victim,
+    /// plus threads whose detached activation group was parked there. Each
+    /// one forfeits whatever work it had not yet completed; applications use
+    /// this to bound permissible loss in conservation checks.
+    pub threads_lost: u64,
+    /// In-flight envelopes rerouted away from a declared-dead destination.
+    pub rerouted_calls: u64,
+    /// Primary-backup state deltas shipped.
+    pub replication_deltas: u64,
+    /// Total words of replication delta payload shipped.
+    pub replication_words: u64,
 }
 
 /// Tuning of the ack/timeout/retry recovery protocol (only active under
@@ -144,6 +219,7 @@ impl MachineConfig {
             audit: false,
             faults: None,
             recovery: RecoveryConfig::default(),
+            failover: FailoverConfig::default(),
         }
     }
 }
@@ -186,6 +262,12 @@ pub enum Event {
         /// Crash-restart (loses arrivals) vs. plain stall.
         crash: bool,
     },
+    /// A permanent fail-stop crash lands: the processor dies now and never
+    /// restarts (scheduled from [`proteus::FaultPlan::kill`]).
+    Kill(ProcId),
+    /// Periodic tick of the ring failure detector: every live processor
+    /// probes its ring successor. Only scheduled when failover is enabled.
+    HeartbeatTick,
 }
 
 enum RecvCharge {
@@ -256,6 +338,18 @@ enum Work {
     Retransmit { seq: u64 },
     /// Sit out an injected stall or crash-restart outage.
     Outage { duration: Cycles, crash: bool },
+    /// Send a failure-detector heartbeat probe to `to`.
+    HeartbeatProbe { to: ProcId },
+    /// Receive a heartbeat probe (the ack the receive path sends is the
+    /// liveness evidence; nothing else to do).
+    HeartbeatRecv,
+    /// Apply a primary-backup replication delta at the backup. The fields
+    /// reconstruct the payload if the backup dies before applying it.
+    BackupApply {
+        target: Goid,
+        delta_seq: u64,
+        words: u64,
+    },
 }
 
 /// Receipt the receive path must acknowledge back to the sender.
@@ -415,6 +509,9 @@ pub struct RunMetrics {
     /// Fault-injection decisions in the window (`Some` exactly when
     /// [`MachineConfig::faults`] is set).
     pub faults: Option<FaultStats>,
+    /// Failure-detection and replication activity in the window (`Some`
+    /// exactly when [`MachineConfig::failover`] is enabled).
+    pub failover: Option<FailoverStats>,
 }
 
 /// The machine + runtime state. Implements [`Simulation`] so a
@@ -463,12 +560,29 @@ pub struct System {
     /// Unacked envelopes, by sequence number.
     in_flight: BTreeMap<u64, InFlight>,
     /// Sequence numbers already delivered (or abandoned), for duplicate
-    /// suppression.
-    delivered_seqs: HashSet<u64>,
+    /// suppression. Ordered so the watermark prune can split off everything
+    /// below [`System::acked_below`] in one call.
+    delivered_seqs: std::collections::BTreeSet<u64>,
+    /// Duplicate-suppression watermark: every envelope with `seq <
+    /// acked_below` has been acknowledged (or abandoned) and its
+    /// `delivered_seqs` entry pruned — any copy still in the network is a
+    /// duplicate by definition. Advanced to the smallest in-flight sequence
+    /// number whenever an envelope leaves the retransmission buffer, keeping
+    /// the table O(in-flight window) on long chaos runs.
+    acked_below: u64,
     /// Per-processor crash-restart horizon: arrivals before this time are
     /// lost.
     crashed_until: Vec<Cycles>,
     recovery: RecoveryStats,
+    /// Permanently failed (fail-stop) processors: dead hardware. Set by
+    /// [`Event::Kill`]; never cleared.
+    failed: Vec<bool>,
+    /// Processors the failure detector has declared dead: dead protocol
+    /// state. Lags `failed` by the detection latency.
+    declared_dead: Vec<bool>,
+    /// Per-object replication delta sequence numbers (primary side).
+    delta_seqs: HashMap<Goid, u64>,
+    failover: FailoverStats,
 }
 
 impl System {
@@ -512,9 +626,14 @@ impl System {
             faults: cfg.faults.clone().map(FaultInjector::new),
             next_seq: 0,
             in_flight: BTreeMap::new(),
-            delivered_seqs: HashSet::new(),
+            delivered_seqs: std::collections::BTreeSet::new(),
+            acked_below: 0,
             crashed_until: vec![Cycles::ZERO; n as usize],
             recovery: RecoveryStats::default(),
+            failed: vec![false; n as usize],
+            declared_dead: vec![false; n as usize],
+            delta_seqs: HashMap::new(),
+            failover: FailoverStats::default(),
             cfg,
         }
     }
@@ -543,6 +662,28 @@ impl System {
     /// injection is off).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Failure-detection and replication activity since the window started.
+    pub fn failover_stats(&self) -> &FailoverStats {
+        &self.failover
+    }
+
+    /// Current size of the receiver-side duplicate-suppression table. The
+    /// watermark prune keeps this O(in-flight window) regardless of how many
+    /// envelopes a long chaos run delivers.
+    pub fn dedup_table_size(&self) -> usize {
+        self.delivered_seqs.len()
+    }
+
+    /// `true` if `proc` has suffered a permanent fail-stop crash.
+    pub fn is_failed(&self, proc: ProcId) -> bool {
+        self.failed[proc.index()]
+    }
+
+    /// `true` if the failure detector has declared `proc` dead.
+    pub fn is_declared_dead(&self, proc: ProcId) -> bool {
+        self.declared_dead[proc.index()]
     }
 
     /// Per-call-site mechanism-dispatch counters for the current window.
@@ -645,6 +786,7 @@ impl System {
         self.audit_tasks = 0;
         self.audit_violations.clear();
         self.recovery = RecoveryStats::default();
+        self.failover = FailoverStats::default();
         if let Some(f) = &mut self.faults {
             // Counters restart; the decision stream continues so the window
             // replays identically whether or not a warm-up preceded it.
@@ -753,6 +895,7 @@ impl System {
             },
             recovery: self.faults.as_ref().map(|_| self.recovery.clone()),
             faults: self.faults.as_ref().map(|f| f.stats().clone()),
+            failover: self.cfg.failover.enabled.then(|| self.failover.clone()),
         }
     }
 
@@ -1215,18 +1358,32 @@ impl System {
         let mut env = MpEnv {
             user: Cycles::ZERO,
             replica_read,
+            wrote_bytes: 0,
             objects: &mut self.objects,
             rng: &mut self.rng,
             data_procs: &self.cfg.data_procs,
         };
         let results = behavior.invoke(inv.method, &inv.args, &mut env);
         let user = env.user;
+        let wrote_bytes = env.wrote_bytes;
         self.objects.put_behavior(inv.target, behavior);
         self.charge_user(user);
         let mut busy = user;
         // A write to a replicated object must update the software replicas.
         if is_home && !inv.read_only && replicated && self.cfg.scheme.replication {
             busy += self.broadcast_replica_update(proc, inv.target, logical_now + user, queue);
+        }
+        // Primary-backup replication: a mutating method at the primary ships
+        // its written footprint to the object's backup as a sequenced delta.
+        if self.cfg.failover.enabled && is_home && wrote_bytes > 0 {
+            busy += self.ship_backup_delta(
+                proc,
+                proc,
+                inv.target,
+                wrote_bytes,
+                logical_now + busy,
+                queue,
+            );
         }
         (busy, results)
     }
@@ -1239,6 +1396,7 @@ impl System {
         proc: ProcId,
         inv: &Invoke,
         logical_now: Cycles,
+        queue: &mut EventQueue<Event>,
     ) -> (Cycles, Vec<Word>) {
         let entry = self.objects.entry(inv.target);
         let base = entry.base_addr;
@@ -1255,6 +1413,7 @@ impl System {
             user: Cycles::ZERO,
             mem_stall: Cycles::ZERO,
             lock_stall: Cycles::ZERO,
+            wrote_bytes: 0,
             objects: &mut self.objects,
             coherence: &mut self.coherence,
             net: &mut self.net,
@@ -1263,11 +1422,21 @@ impl System {
         };
         let results = behavior.invoke(inv.method, &inv.args, &mut env);
         let (elapsed, user, mem, lock) = (env.elapsed, env.user, env.mem_stall, env.lock_stall);
+        let wrote_bytes = env.wrote_bytes;
         self.objects.put_behavior(goid, behavior);
         self.charge_user(user);
         self.charge(cat::MEMORY_STALL, mem);
         self.charge(cat::LOCK_STALL, lock);
-        (elapsed, results)
+        let mut busy = elapsed;
+        // Under shared memory the mutation happened in the home node's
+        // memory; replication still ships the written footprint to the
+        // home's backup so a fail-stop crash of the home loses nothing.
+        if self.cfg.failover.enabled && wrote_bytes > 0 {
+            let home = self.objects.home(goid);
+            busy +=
+                self.ship_backup_delta(proc, home, goid, wrote_bytes, logical_now + busy, queue);
+        }
+        (busy, results)
     }
 
     /// Broadcast a replica update after a write to a replicated object.
@@ -1291,6 +1460,426 @@ impl System {
             busy += self.send_message(src, p, payload, send_time + busy, queue);
         }
         busy
+    }
+
+    // ------------------------------------------------------------------
+    // Failover: detection, replication, re-homing
+    // ------------------------------------------------------------------
+
+    /// Deterministic backup placement: the next processor after `home` in
+    /// ring order, skipping processors already declared dead. With one
+    /// processor there is no backup (`backup_for(p) == p`).
+    fn backup_for(&self, home: ProcId) -> ProcId {
+        let n = self.procs.len();
+        let mut b = (home.index() + 1) % n;
+        while b != home.index() && self.declared_dead[b] {
+            b = (b + 1) % n;
+        }
+        ProcId(b as u32)
+    }
+
+    /// Ship a sequence-numbered state delta for `target` from the executing
+    /// processor to the backup of the object's home. Returns the busy cycles
+    /// (charged to `replication.*`).
+    fn ship_backup_delta(
+        &mut self,
+        proc: ProcId,
+        home: ProcId,
+        target: Goid,
+        wrote_bytes: u64,
+        send_time: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let backup = self.backup_for(home);
+        if backup == home {
+            return Cycles::ZERO; // single-processor machine: nowhere to back up
+        }
+        if backup == proc {
+            return Cycles::ZERO; // the executor is the backup: delta applies locally, free
+        }
+        let seq = self.delta_seqs.entry(target).or_insert(0);
+        *seq += 1;
+        let delta_seq = *seq;
+        let words = wrote_bytes.div_ceil(8).max(1);
+        self.charge(cat::REPLICATION_DELTA_SEND, self.cost.delta_send);
+        self.failover.replication_deltas += 1;
+        self.failover.replication_words += words;
+        self.cost.delta_send
+            + self.send_message(
+                proc,
+                backup,
+                Payload::BackupDelta {
+                    target,
+                    delta_seq,
+                    words,
+                },
+                send_time,
+                queue,
+            )
+    }
+
+    /// Advance the duplicate-suppression watermark after an envelope left
+    /// the retransmission buffer: everything below the smallest still-unacked
+    /// sequence number is retired, so its dedup entries can be pruned. Keeps
+    /// `delivered_seqs` O(in-flight window) on unbounded chaos runs.
+    fn advance_watermark(&mut self) {
+        let floor = self
+            .in_flight
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(self.next_seq);
+        if floor > self.acked_below {
+            self.acked_below = floor;
+            self.delivered_seqs = self.delivered_seqs.split_off(&floor);
+        }
+    }
+
+    /// Declare `victim` dead (heartbeat suspicion threshold reached at the
+    /// ring predecessor `proc`): promote its backup, re-home every object it
+    /// was primary for, and let in-flight traffic reroute on its next
+    /// timeout. All charges land in the detecting task's busy window.
+    fn declare_dead(
+        &mut self,
+        victim: ProcId,
+        now: Cycles,
+        proc: ProcId,
+        acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let _ = queue;
+        if self.declared_dead[victim.index()] {
+            return acc;
+        }
+        self.declared_dead[victim.index()] = true;
+        self.failover.suspicions += 1;
+        self.charge(cat::RECOVERY_SUSPICION, self.cost.suspicion);
+        let mut acc = acc + self.cost.suspicion;
+        self.tracer.emit_with(|| TraceEvent {
+            at: now + acc,
+            source: "runtime",
+            kind: "suspect",
+            proc: Some(proc),
+            detail: format!("declared {} dead (heartbeat silence)", victim.index()),
+        });
+        // Promotion: the backup already holds the replicated state; flip
+        // the directory. The backup is computed once — every object homed
+        // at the victim shares the same ring successor.
+        self.failover.promotions += 1;
+        self.charge(cat::RECOVERY_PROMOTION, self.cost.promotion);
+        acc += self.cost.promotion;
+        let backup = self.backup_for(victim);
+        let dead_objects: Vec<Goid> = self
+            .objects
+            .goids()
+            .filter(|g| self.objects.home(*g) == victim)
+            .collect();
+        for g in dead_objects {
+            self.objects.rehome(g, backup);
+            self.charge(cat::RECOVERY_REHOME, self.cost.rehome_per_object);
+            acc += self.cost.rehome_per_object;
+            self.failover.rehomed_objects += 1;
+        }
+        self.tracer.emit_with(|| TraceEvent {
+            at: now + acc,
+            source: "runtime",
+            kind: "promote",
+            proc: Some(backup),
+            detail: format!(
+                "backup of {} promoted; {} object(s) re-homed",
+                victim.index(),
+                self.failover.rehomed_objects
+            ),
+        });
+        acc
+    }
+
+    /// Reroute (or retire) unacked envelope `seq` whose destination has been
+    /// declared dead: pick a live destination by payload kind — post-rehome,
+    /// the object directory already points at the promoted backup — and
+    /// relaunch; envelopes with no live destination are dropped with
+    /// [`RuntimeError::UnroutableToDead`].
+    fn reroute(
+        &mut self,
+        seq: u64,
+        now: Cycles,
+        proc: ProcId,
+        acc: Cycles,
+        queue: &mut EventQueue<Event>,
+    ) -> Cycles {
+        let entry = self
+            .in_flight
+            .get(&seq)
+            .expect("reroute on unknown envelope");
+        let (src, dst, kind, words) = (entry.src, entry.dst, entry.kind, entry.words);
+        debug_assert!(self.declared_dead[dst.index()]);
+        let new_dst = match entry.payload.as_ref() {
+            // Tombstone: a copy was delivered (and executed) before the
+            // death; only the ack was lost. The work is done — retire.
+            None => None,
+            Some(p) => match p {
+                // A probe to a declared-dead processor has served its
+                // purpose; nothing to redirect.
+                Payload::Heartbeat => None,
+                // Calls follow the object: the directory already points at
+                // the promoted backup.
+                Payload::RpcRequest { invoke, .. }
+                | Payload::Migration { invoke, .. }
+                | Payload::ThreadMove { invoke, .. } => Some(self.objects.home(invoke.target)),
+                Payload::ObjectPull { target, .. } | Payload::ObjectMove { target, .. } => {
+                    Some(self.objects.home(*target))
+                }
+                // Replies follow the caller: a parked detached group, or the
+                // thread's home.
+                Payload::RpcReply { thread, .. } => Some(
+                    self.detached
+                        .get(thread)
+                        .map(|d| d.at)
+                        .unwrap_or(self.threads[thread.index()].home),
+                ),
+                Payload::OperationReturn { thread, .. } => Some(self.threads[thread.index()].home),
+                // The backup died: re-replicate to the home's new backup.
+                Payload::BackupDelta { target, .. } => {
+                    Some(self.backup_for(self.objects.home(*target)))
+                }
+                Payload::ReplicaUpdate { .. } | Payload::Ack { .. } => None,
+            },
+        };
+        match new_dst {
+            Some(d) if !self.declared_dead[d.index()] && d != dst => {
+                self.failover.rerouted_calls += 1;
+                self.charge(cat::RECOVERY_REROUTE, self.cost.reroute);
+                let acc = acc + self.cost.reroute;
+                let entry = self.in_flight.get_mut(&seq).expect("entry checked above");
+                entry.dst = d;
+                entry.attempt = 1;
+                let (overhead, latency) = self.charge_send(src, d, kind, words, now + acc);
+                let acc = acc + overhead;
+                *self.msg_counts.entry(kind).or_insert(0) += 1;
+                self.tracer.emit_with(|| TraceEvent {
+                    at: now + acc,
+                    source: "runtime",
+                    kind: "reroute",
+                    proc: Some(proc),
+                    detail: format!("seq={seq} kind={kind:?} {} -> {}", dst.index(), d.index()),
+                });
+                if let Some(latency) = latency {
+                    self.launch_envelope(seq, now + acc, latency, queue);
+                }
+                acc
+            }
+            _ => {
+                // No live destination (or the work already happened): retire
+                // the envelope so the watermark can advance.
+                let retired = self.in_flight.remove(&seq).expect("entry checked above");
+                if retired.payload.is_some() && kind != MessageKind::Heartbeat {
+                    self.record_runtime_error(
+                        now + acc,
+                        RuntimeError::UnroutableToDead { dst, seq },
+                    );
+                }
+                if let Some(Payload::Migration { frames, .. })
+                | Some(Payload::ThreadMove { frames, .. }) = retired.payload
+                {
+                    let n = frames.len() as u64;
+                    self.recycle_frame_vec(frames);
+                    self.failover.frames_lost += n;
+                }
+                self.advance_watermark();
+                acc
+            }
+        }
+    }
+
+    /// A permanent fail-stop crash lands at `victim`: mark the hardware
+    /// dead, surrender its queued work back to the senders' retransmission
+    /// buffers, and terminate the threads that died with it. Nothing is
+    /// charged — death is not protocol work; detection and recovery (which
+    /// are) happen later in live processors' task windows.
+    fn kill_processor(&mut self, now: Cycles, victim: ProcId, queue: &mut EventQueue<Event>) {
+        let _ = queue;
+        let v = victim.index();
+        if self.failed[v] {
+            return;
+        }
+        self.failed[v] = true;
+        // A permanent crash is a restart window that never closes: the
+        // existing crash-horizon checks swallow every later arrival.
+        self.crashed_until[v] = Cycles(u64::MAX);
+        self.tracer.emit_with(|| TraceEvent {
+            at: now,
+            source: "runtime",
+            kind: "kill",
+            proc: Some(victim),
+            detail: "permanent fail-stop crash".to_string(),
+        });
+        // Queued envelope deliveries die un-executed, but the senders still
+        // hold the payload copies (they were never acknowledged): restore
+        // them to the retransmission buffers and undo the delivery
+        // bookkeeping, so the next timeout redelivers — and, once the death
+        // is declared, reroutes. Locally generated work dies with the node.
+        let orphans = self.procs[v].drain();
+        for task in orphans {
+            let QueuedTask { work, ack, .. } = task;
+            let Some(ticket) = ack else { continue };
+            let seq = ticket.seq;
+            let kind = self.in_flight.get(&seq).map(|e| e.kind);
+            let payload = match (work, kind) {
+                (
+                    Work::ServeRpc {
+                        thread,
+                        reply_to,
+                        invoke,
+                    },
+                    _,
+                ) => Some(Payload::RpcRequest {
+                    thread,
+                    reply_to,
+                    invoke,
+                }),
+                (
+                    Work::Deliver {
+                        thread,
+                        results,
+                        completes_op,
+                    },
+                    Some(MessageKind::OperationReturn),
+                ) => Some(Payload::OperationReturn {
+                    thread,
+                    completes_op,
+                    results,
+                }),
+                (
+                    Work::Deliver {
+                        thread, results, ..
+                    },
+                    _,
+                )
+                | (Work::DeliverDetached { thread, results }, _) => {
+                    Some(Payload::RpcReply { thread, results })
+                }
+                (
+                    Work::MigrationArrive {
+                        thread,
+                        reply_to,
+                        frames,
+                        invoke,
+                    },
+                    _,
+                ) => Some(Payload::Migration {
+                    thread,
+                    reply_to,
+                    frames,
+                    invoke,
+                }),
+                (
+                    Work::ServePull {
+                        thread,
+                        reply_to,
+                        target,
+                    },
+                    _,
+                ) => Some(Payload::ObjectPull {
+                    thread,
+                    reply_to,
+                    target,
+                }),
+                (
+                    Work::InstallObject {
+                        thread,
+                        target,
+                        behavior,
+                    },
+                    _,
+                ) => Some(Payload::ObjectMove {
+                    thread,
+                    target,
+                    behavior,
+                }),
+                (
+                    Work::ThreadArrive {
+                        thread,
+                        frames,
+                        invoke,
+                    },
+                    _,
+                ) => Some(Payload::ThreadMove {
+                    thread,
+                    frames,
+                    invoke,
+                }),
+                (
+                    Work::BackupApply {
+                        target,
+                        delta_seq,
+                        words,
+                    },
+                    _,
+                ) => Some(Payload::BackupDelta {
+                    target,
+                    delta_seq,
+                    words,
+                }),
+                (Work::HeartbeatRecv, _) => Some(Payload::Heartbeat),
+                // Duplicate suppressions and everything else deliverable
+                // was already processed once — nothing to restore.
+                _ => None,
+            };
+            if let Some(p) = payload {
+                if let Some(entry) = self.in_flight.get_mut(&seq) {
+                    debug_assert!(
+                        entry.payload.is_none(),
+                        "restoring an envelope that was never delivered"
+                    );
+                    entry.payload = Some(p);
+                    self.delivered_seqs.remove(&seq);
+                }
+            }
+        }
+        // Threads homed at the dead processor die with it — except Moving
+        // threads, whose entire state is in flight: a ThreadMove rehomes
+        // wherever it (re)lands.
+        for t in 0..self.threads.len() {
+            if self.threads[t].home == victim
+                && !matches!(
+                    self.threads[t].status,
+                    ThreadStatus::Moving | ThreadStatus::Done
+                )
+            {
+                self.threads[t].status = ThreadStatus::Done;
+                self.failover.threads_lost += 1;
+                let stack = std::mem::take(&mut self.threads[t].stack);
+                self.failover.frames_lost += stack.len() as u64;
+                self.recycle_frame_vec(stack);
+            }
+        }
+        // Detached activation groups parked at the victim are destroyed;
+        // their threads can never receive the short-circuited return.
+        let mut dead_groups: Vec<ThreadId> = self
+            .detached
+            .iter()
+            .filter(|(_, d)| d.at == victim)
+            .map(|(t, _)| *t)
+            .collect();
+        dead_groups.sort_unstable_by_key(|t| t.index());
+        for tid in dead_groups {
+            let d = self.detached.remove(&tid).expect("group collected above");
+            let n = d.stack.len() as u64;
+            self.recycle_frame_vec(d.stack);
+            self.failover.frames_lost += n;
+            if self.threads[tid.index()].status != ThreadStatus::Done {
+                self.failover.threads_lost += 1;
+            }
+            self.threads[tid.index()].status = ThreadStatus::Done;
+            self.record_runtime_error(
+                now,
+                RuntimeError::FrameReclaimed {
+                    thread: tid,
+                    at: victim,
+                    frames: n,
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1397,7 +1986,7 @@ impl System {
                             frame.label(),
                             DispatchKind::SharedMemory,
                         );
-                        let (lat, results) = self.invoke_sm(proc, &inv, now + acc);
+                        let (lat, results) = self.invoke_sm(proc, &inv, now + acc, queue);
                         acc += lat;
                         frame.on_result(&results);
                         // Yield so lock windows interleave near the correct
@@ -1870,8 +2459,25 @@ impl System {
                 reply_to,
                 frames,
                 invoke,
-            } => self
-                .run_detached_slice(
+            } => {
+                if self.threads[thread.index()].status == ThreadStatus::Done {
+                    // The thread died with its processor while this
+                    // (rerouted) migration was in flight: reclaim the
+                    // orphaned frames instead of running a dead operation.
+                    let n = frames.len() as u64;
+                    self.recycle_frame_vec(frames);
+                    self.recovery.frames_reclaimed += n;
+                    self.record_runtime_error(
+                        now + acc,
+                        RuntimeError::FrameReclaimed {
+                            thread,
+                            at: proc,
+                            frames: n,
+                        },
+                    );
+                    return acc;
+                }
+                self.run_detached_slice(
                     now,
                     proc,
                     thread,
@@ -1883,7 +2489,8 @@ impl System {
                 .unwrap_or_else(|(busy, error)| {
                     self.record_runtime_error(now + busy, error);
                     busy
-                }),
+                })
+            }
             Work::ServePull {
                 thread,
                 reply_to,
@@ -1901,6 +2508,12 @@ impl System {
                 self.charge(cat::GOID_TRANSLATION, self.cost.goid_translation);
                 let acc = acc + self.cost.goid_translation;
                 self.objects.put_behavior(target, behavior);
+                if self.threads[thread.index()].status == ThreadStatus::Done {
+                    // The puller died with its processor; the object was
+                    // rerouted here (its re-homed directory entry) so its
+                    // state survives, but there is no thread to resume.
+                    return acc;
+                }
                 self.run_thread_slice(now, proc, thread, None, acc, queue)
             }
             Work::ThreadArrive {
@@ -1954,10 +2567,30 @@ impl System {
                 acc + self.cost.dedup_check
             }
             Work::AckApply { seq } => {
-                self.in_flight.remove(&seq);
+                if self.in_flight.remove(&seq).is_some() {
+                    self.advance_watermark();
+                }
                 acc
             }
             Work::Retransmit { seq } => self.retransmit(seq, now, proc, acc, queue),
+            Work::HeartbeatProbe { to } => {
+                if self.failed[proc.index()] || self.declared_dead[to.index()] {
+                    // The prober died, or the target was declared dead since
+                    // the tick fanned out: nothing left to probe.
+                    return acc;
+                }
+                self.charge(cat::RECOVERY_HEARTBEAT, self.cost.heartbeat_probe);
+                let acc = acc + self.cost.heartbeat_probe;
+                self.failover.heartbeats_sent += 1;
+                acc + self.send_message(proc, to, Payload::Heartbeat, now + acc, queue)
+            }
+            // The ack the receive path already sent *is* the liveness
+            // evidence; the probe itself carries no work.
+            Work::HeartbeatRecv => acc,
+            Work::BackupApply { .. } => {
+                self.charge(cat::REPLICATION_DELTA_APPLY, self.cost.delta_apply);
+                acc + self.cost.delta_apply
+            }
             Work::Outage { duration, crash } => {
                 // The injected disruption occupies the processor for its
                 // duration; charge it so the audit identity holds.
@@ -1991,6 +2624,22 @@ impl System {
         debug_assert_eq!(src, proc, "retransmit task ran off the sender");
         self.charge(cat::RECOVERY_TIMEOUT, self.cost.timeout_handler);
         let acc = acc + self.cost.timeout_handler;
+        if self.cfg.failover.enabled && self.declared_dead[dst.index()] {
+            // The destination was declared dead (by this processor or any
+            // other): redirect the buffered payload instead of resending
+            // into the void.
+            return self.reroute(seq, now, proc, acc, queue);
+        }
+        if self.cfg.failover.enabled
+            && kind == MessageKind::Heartbeat
+            && attempt >= self.cfg.failover.max_heartbeat_attempts
+        {
+            // Suspicion: the probe's retry budget is exhausted with no ack —
+            // the ring predecessor declares the destination dead.
+            self.in_flight.remove(&seq);
+            self.advance_watermark();
+            return self.declare_dead(dst, now, proc, acc, queue);
+        }
         if kind == MessageKind::Migration && attempt >= self.cfg.recovery.max_migration_attempts {
             return self.fallback_to_rpc(seq, now, proc, acc, queue);
         }
@@ -2037,8 +2686,11 @@ impl System {
             .remove(&seq)
             .expect("fallback on unknown envelope");
         // The envelope is retired: any straggler copy still in flight must
-        // be treated as a duplicate, not re-executed.
+        // be treated as a duplicate, not re-executed. (If the watermark
+        // passes `seq` right away the tombstone is pruned again — copies
+        // below the watermark are duplicates by definition.)
         self.delivered_seqs.insert(seq);
+        self.advance_watermark();
         let Some(Payload::Migration {
             thread,
             reply_to,
@@ -2264,11 +2916,35 @@ impl System {
                 },
                 Work::AckApply { seq },
             ),
+            Payload::Heartbeat => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 1,
+                    kind: MessageKind::Heartbeat,
+                    short: true,
+                },
+                Work::HeartbeatRecv,
+            ),
+            Payload::BackupDelta {
+                target,
+                delta_seq,
+                words,
+            } => QueuedTask::new(
+                RecvCharge::Message {
+                    words: 2 + words,
+                    kind: MessageKind::BackupDelta,
+                    short: true,
+                },
+                Work::BackupApply {
+                    target,
+                    delta_seq,
+                    words,
+                },
+            ),
         }
     }
 
     fn ensure_poll(&mut self, proc: ProcId, now: Cycles, queue: &mut EventQueue<Event>) {
-        if self.poll_pending[proc.index()] {
+        if self.poll_pending[proc.index()] || self.failed[proc.index()] {
             return;
         }
         self.poll_pending[proc.index()] = true;
@@ -2288,6 +2964,8 @@ impl Simulation for System {
             Event::Wake(_) => "wake",
             Event::Timeout(_) => "timeout",
             Event::Disrupt { .. } => "disrupt",
+            Event::Kill(_) => "kill",
+            Event::HeartbeatTick => "heartbeat_tick",
         }
     }
 
@@ -2338,7 +3016,7 @@ impl Simulation for System {
                     return;
                 }
                 let ticket = AckTicket { to: src, seq };
-                let mut task = if self.delivered_seqs.contains(&seq) {
+                let mut task = if seq < self.acked_below || self.delivered_seqs.contains(&seq) {
                     // Already processed (an injected duplicate, or a
                     // retransmission racing its own ack): suppress, but
                     // still charge the receive path and re-ack.
@@ -2369,6 +3047,14 @@ impl Simulation for System {
                     return; // acked meanwhile — stale timer
                 };
                 let src = entry.src;
+                if self.failed[src.index()] {
+                    // The sender died: nobody is left to retransmit, and no
+                    // ack will ever release the buffer. Retire the envelope
+                    // so the dedup watermark can advance past it.
+                    self.in_flight.remove(&seq);
+                    self.advance_watermark();
+                    return;
+                }
                 self.procs[src.index()]
                     .enqueue(QueuedTask::new(RecvCharge::None, Work::Retransmit { seq }));
                 self.ensure_poll(src, now, queue);
@@ -2387,6 +3073,36 @@ impl Simulation for System {
                     Work::Outage { duration, crash },
                 ));
                 self.ensure_poll(proc, now, queue);
+            }
+            Event::Kill(victim) => self.kill_processor(now, victim, queue),
+            Event::HeartbeatTick => {
+                // Ring detector: every live processor probes its successor
+                // (skipping the declared dead, so a dead node's predecessor
+                // adopts the probe responsibility for the node after it).
+                let n = self.procs.len();
+                for p in 0..n {
+                    if self.failed[p] || self.declared_dead[p] {
+                        continue;
+                    }
+                    let mut to = (p + 1) % n;
+                    while to != p && self.declared_dead[to] {
+                        to = (to + 1) % n;
+                    }
+                    if to == p {
+                        continue;
+                    }
+                    self.procs[p].enqueue(QueuedTask::new(
+                        RecvCharge::None,
+                        Work::HeartbeatProbe {
+                            to: ProcId(to as u32),
+                        },
+                    ));
+                    self.ensure_poll(ProcId(p as u32), now, queue);
+                }
+                queue.schedule_at(
+                    now + self.cfg.failover.heartbeat_interval,
+                    Event::HeartbeatTick,
+                );
             }
             Event::Wake(tid) => {
                 // A pending Wake must not resurrect a thread that finished —
@@ -2435,6 +3151,10 @@ impl Simulation for System {
 struct MpEnv<'a> {
     user: Cycles,
     replica_read: bool,
+    /// Bytes written by the method — the delta footprint primary-backup
+    /// replication ships to the backup (0 when failover is off or the
+    /// method only reads).
+    wrote_bytes: u64,
     objects: &'a mut ObjectTable,
     rng: &'a mut SplitMix64,
     data_procs: &'a [ProcId],
@@ -2448,11 +3168,12 @@ impl MethodEnv for MpEnv<'_> {
         // Local memory at the object's home: covered by the method's
         // compute() charges.
     }
-    fn write(&mut self, _offset: u64, _len: u64) {
+    fn write(&mut self, _offset: u64, len: u64) {
         assert!(
             !self.replica_read,
             "write through a read-only replica view (method wrongly marked read_only)"
         );
+        self.wrote_bytes += len;
     }
     fn lock(&mut self) {
         // The home processor serves one activation at a time: mutual
@@ -2489,6 +3210,9 @@ struct SmEnv<'a> {
     user: Cycles,
     mem_stall: Cycles,
     lock_stall: Cycles,
+    /// Bytes written through explicit `write()` calls (excludes internal
+    /// lock-word traffic) — the footprint primary-backup replication ships.
+    wrote_bytes: u64,
     objects: &'a mut ObjectTable,
     coherence: &'a mut CoherenceSystem,
     net: &'a mut Network,
@@ -2525,6 +3249,7 @@ impl MethodEnv for SmEnv<'_> {
         self.mem(offset, len, Access::Read);
     }
     fn write(&mut self, offset: u64, len: u64) {
+        self.wrote_bytes += len;
         self.mem(offset, len, Access::Write);
     }
     fn lock(&mut self) {
@@ -2609,11 +3334,27 @@ pub struct EngineProfile {
 }
 
 impl Runner {
-    /// Build a runner for a configuration.
+    /// Build a runner for a configuration. A permanent-crash fault
+    /// ([`FaultPlan::kill`]) and the failure detector's probe tick are
+    /// scheduled here, before the first event runs; with neither configured
+    /// the event stream is untouched.
     pub fn new(cfg: MachineConfig) -> Runner {
+        let mut engine: Engine<System> = Engine::new();
+        if let Some((victim, at)) = cfg.faults.as_ref().and_then(|f| f.kill) {
+            assert!(
+                victim.index() < cfg.processors as usize,
+                "kill victim outside the machine"
+            );
+            engine.queue_mut().schedule_at(at, Event::Kill(victim));
+        }
+        if cfg.failover.enabled {
+            engine
+                .queue_mut()
+                .schedule_at(cfg.failover.heartbeat_interval, Event::HeartbeatTick);
+        }
         Runner {
             system: System::new(cfg),
-            engine: Engine::new(),
+            engine,
         }
     }
 

@@ -55,6 +55,13 @@ pub struct FaultPlan {
     pub crash_permille: u32,
     /// Outage length of a crash-restart.
     pub crash_cycles: Cycles,
+    /// Permanent fail-stop: `Some((proc, t))` kills processor `proc` at cycle
+    /// `t` — it never restarts, unlike the transient crash-restart windows
+    /// above. This is a *scheduled* fault, not a probabilistic one: it is
+    /// consumed by the runtime at startup and draws nothing from the
+    /// per-message decision stream, so adding or removing a kill never
+    /// reshuffles the transient fault history of a seed.
+    pub kill: Option<(ProcId, Cycles)>,
 }
 
 impl FaultPlan {
@@ -70,6 +77,7 @@ impl FaultPlan {
             stall_cycles: Cycles::ZERO,
             crash_permille: 0,
             crash_cycles: Cycles::ZERO,
+            kill: None,
         }
     }
 
@@ -88,16 +96,34 @@ impl FaultPlan {
             stall_cycles: Cycles(2_000),
             crash_permille: 4,
             crash_cycles: Cycles(8_000),
+            kill: None,
         }
     }
 
-    /// True when some fault has a non-zero probability.
+    /// A plan whose only fault is a permanent fail-stop of `victim` at `at`.
+    /// Used by the failover chaos sweep (`experiments --failover`).
+    pub fn fail_stop(victim: ProcId, at: Cycles) -> FaultPlan {
+        FaultPlan {
+            kill: Some((victim, at)),
+            ..FaultPlan::disabled()
+        }
+    }
+
+    /// Add a permanent fail-stop of `victim` at cycle `at` to this plan.
+    pub fn with_kill(mut self, victim: ProcId, at: Cycles) -> FaultPlan {
+        self.kill = Some((victim, at));
+        self
+    }
+
+    /// True when some fault has a non-zero probability or a permanent kill is
+    /// scheduled.
     pub fn is_active(&self) -> bool {
         self.drop_permille > 0
             || self.duplicate_permille > 0
             || self.delay_permille > 0
             || self.stall_permille > 0
             || self.crash_permille > 0
+            || self.kill.is_some()
     }
 }
 
@@ -363,6 +389,22 @@ mod tests {
         let mut fresh = FaultInjector::new(FaultPlan::chaos(3));
         assert_eq!(fresh.fate(Cycles(0), ProcId(0), ProcId(1)), first);
         assert_eq!(fresh.fate(Cycles(0), ProcId(0), ProcId(1)), second);
+    }
+
+    #[test]
+    fn kill_is_active_but_never_perturbs_the_decision_stream() {
+        // A kill-only plan is active (the runtime must engage the recovery
+        // machinery) yet makes zero probabilistic decisions...
+        let plan = FaultPlan::fail_stop(ProcId(3), Cycles(10_000));
+        assert!(plan.is_active());
+        let all = fates(plan, 500);
+        assert!(all.iter().all(|f| *f == MessageFate::delivered()));
+
+        // ...and adding a kill to a chaos plan leaves the transient fault
+        // history of that seed byte-for-byte unchanged.
+        let plain = fates(FaultPlan::chaos(9), 2_000);
+        let killed = fates(FaultPlan::chaos(9).with_kill(ProcId(1), Cycles(77)), 2_000);
+        assert_eq!(plain, killed);
     }
 
     #[test]

@@ -78,6 +78,14 @@ impl<T> Processor<T> {
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
     }
 
+    /// Remove and return every queued task (the in-service busy window is
+    /// untouched). Used for fail-stop faults: when a processor dies, its
+    /// queued work is surrendered to the caller so senders can reclaim or
+    /// reroute what was still waiting for service.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.queue.drain(..).collect()
+    }
+
     /// Pop the next task if the processor is free at `now`.
     ///
     /// Returns `None` either when the queue is empty or when the processor is

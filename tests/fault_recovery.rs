@@ -269,6 +269,102 @@ fn crash_restarts_never_resurrect_finished_threads() {
 }
 
 #[test]
+fn dedup_table_stays_bounded_by_inflight_window() {
+    // The receiver-side dedup table must be O(in-flight window), not O(total
+    // messages): the acked-below watermark prunes every sequence number no
+    // live envelope can replay. After a drained chaos run that delivered
+    // thousands of envelopes, at most a handful of entries (unacked
+    // stragglers still inside the window) may remain.
+    for seed in 0..8u64 {
+        let exp = CountingExperiment {
+            requests_per_thread: Some(8),
+            faults: Some(FaultPlan::chaos(seed)),
+            audit: true,
+            seed: 0xC0DE ^ seed,
+            ..CountingExperiment::paper(8, 0, Scheme::computation_migration())
+        };
+        let (mut runner, _spec) = exp.build();
+        runner.run_until(Cycles(200_000_000));
+        let m = runner.system.metrics(Cycles(200_000_000));
+        assert!(
+            m.messages > 500,
+            "seed {seed}: run too small to exercise the table ({} messages)",
+            m.messages
+        );
+        let size = runner.system.dedup_table_size();
+        assert!(
+            size <= 64,
+            "seed {seed}: dedup table grew with message count ({size} entries \
+             after {} messages) — watermark pruning broken",
+            m.messages
+        );
+    }
+}
+
+#[test]
+fn crash_during_frame_transfer_completes_migration_exactly_once() {
+    // Crash-restart windows and drops land mid frame transfer: the victim
+    // dies holding queued Migration deliveries, restarts, and the sender's
+    // retransmission either completes the migration (late ack suppresses the
+    // duplicate) or exhausts its budget and degrades to RpcFallback. Either
+    // way the operation must run EXACTLY once — a double-executed migration
+    // would emit a duplicate token and break conservation; a lost one would
+    // break the total. A one-attempt budget forces the fallback path to
+    // trigger alongside successful retransmissions across the seed sweep.
+    let requesters = 6u32;
+    let per_thread = 5u64;
+    let mut fallbacks_seen = 0u64;
+    for seed in 0..16u64 {
+        let plan = FaultPlan {
+            drop_permille: 150,
+            crash_permille: 80,
+            crash_cycles: Cycles(15_000),
+            ..FaultPlan::chaos(seed)
+        };
+        let exp = CountingExperiment {
+            requests_per_thread: Some(per_thread),
+            faults: Some(plan),
+            recovery: RecoveryConfig {
+                max_migration_attempts: 1,
+                ..RecoveryConfig::default()
+            },
+            audit: true,
+            seed: 0xC0DE ^ seed,
+            ..CountingExperiment::paper(requesters, 0, Scheme::computation_migration())
+        };
+        let (mut runner, spec) = exp.build();
+        runner.run_until(Cycles(200_000_000));
+        runner
+            .system
+            .audit()
+            .unwrap_or_else(|e| panic!("seed {seed}: audit failed: {e}"));
+        let total: u64 = spec
+            .counters_in_output_order()
+            .iter()
+            .map(|&g| {
+                runner
+                    .system
+                    .objects()
+                    .state::<OutputCounter>(g)
+                    .expect("counter")
+                    .count
+            })
+            .sum();
+        assert_eq!(
+            total,
+            u64::from(requesters) * per_thread,
+            "seed {seed}: a migration executed twice or vanished mid-transfer"
+        );
+        let m = runner.system.metrics(Cycles(200_000_000));
+        fallbacks_seen += m.dispatch.count(DispatchKind::RpcFallback);
+    }
+    assert!(
+        fallbacks_seen > 0,
+        "sweep never exercised the degraded-to-RPC path"
+    );
+}
+
+#[test]
 fn fault_sweep_json_is_deterministic() {
     let rows_a = bench::fault_sweep(5);
     let rows_b = bench::fault_sweep(5);
