@@ -15,6 +15,10 @@
 //! mid-run processor crash per cell with failure detection and primary-
 //! backup replication on, every cell asserting application validity. Given
 //! `--faults`/`--failover` with no positional target, only that sweep runs.
+//! The `adaptive` target runs the adaptive-dispatch sweep (seeds 0..32,
+//! both applications, static RPC vs static CM vs `Annotation::Auto`), each
+//! cell audited and self-asserting the acceptance bounds (`adaptive-ok`
+//! lines).
 //! The fault-free artifacts are byte-identical whether or not these flags
 //! are passed (CI checks this). With `--json <path>` the same runs are also
 //! written to `<path>` as a machine-readable document:
@@ -40,7 +44,7 @@ use migrate_rt::Scheme;
 
 include!("../alloc_counter.rs");
 
-const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults|failover] [--json <path>] [--faults <seed>|<a..b>] [--failover <seed>] [--jobs <n>] [--profile <path>]";
+const USAGE: &str = "usage: experiments [all|fig1|fig2|fig3|table1|table2|table3|table4|table5|fanout10|extensions|faults|failover|adaptive] [--json <path>] [--faults <seed>|<a..b>] [--failover <seed>] [--jobs <n>] [--profile <path>]";
 
 /// The `--faults` argument: one seed, or a half-open `a..b` range of them.
 #[derive(Copy, Clone, Debug)]
@@ -160,6 +164,7 @@ fn main() {
         "extensions",
         "faults",
         "failover",
+        "adaptive",
     ];
     if !known.contains(&arg.as_str()) || args.len() > 1 {
         eprintln!("unknown arguments {args:?}\n{USAGE}");
@@ -194,6 +199,9 @@ fn main() {
     }
     if arg == "failover" || failover_seed.is_some() {
         failover(failover_seed.unwrap_or(0), &mut emit);
+    }
+    if arg == "adaptive" {
+        adaptive(&mut emit);
     }
     if let Some(path) = json_path {
         let doc = obj(vec![
@@ -309,6 +317,29 @@ fn failover(seed: u64, emit: Emit) {
         obj(vec![
             ("seed", Json::Int(seed)),
             ("rows", rows_to_json(&rows)),
+        ]),
+    );
+}
+
+fn adaptive(emit: Emit) {
+    println!("== Adaptive dispatch: online RPC-vs-migration policy (paper §7) ==");
+    println!("(seeds 0..32, both applications; each cell compares static RPC,");
+    println!(" static CM, and the Annotation::Auto per-call-site online policy;");
+    println!(" every cell audited, acceptance bounds self-asserted)\n");
+    let seeds: Vec<u64> = (0..32).collect();
+    let cells = bench::adaptive_sweep(&seeds);
+    for line in bench::adaptive_validity(&cells) {
+        println!("{line}");
+    }
+    println!();
+    emit(
+        "adaptive",
+        obj(vec![
+            (
+                "seed_range",
+                obj(vec![("start", Json::Int(0)), ("end", Json::Int(32))]),
+            ),
+            ("cells", bench::adaptive_to_json(&cells)),
         ]),
     );
 }

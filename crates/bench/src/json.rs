@@ -254,15 +254,36 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                        // Surrogate pairs are not produced by our writer;
-                        // map lone surrogates to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: combine with an immediately
+                            // following \uDC00..\uDFFF escape (RFC 8259 §7,
+                            // how standard writers encode astral chars). A
+                            // lone surrogate is not a scalar value; it
+                            // becomes U+FFFD.
+                            let low = (bytes.get(*pos + 5) == Some(&b'\\')
+                                && bytes.get(*pos + 6) == Some(&b'u'))
+                            .then(|| parse_hex4(bytes, *pos + 7))
+                            .transpose()?
+                            .filter(|lo| (0xDC00..=0xDFFF).contains(lo));
+                            match low {
+                                Some(lo) => {
+                                    let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c).expect("paired surrogates are scalar"),
+                                    );
+                                    *pos += 10;
+                                }
+                                None => {
+                                    out.push('\u{fffd}');
+                                    *pos += 4;
+                                }
+                            }
+                        } else {
+                            // Lone low surrogates are equally unpaired.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -278,6 +299,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
 }
 
 fn text_from(bytes: &[u8]) -> &str {
@@ -338,6 +365,72 @@ mod tests {
         let n = (1u64 << 60) + 7;
         let text = Json::Int(n).render();
         assert_eq!(parse(&text).unwrap().as_u64(), Some(n));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // U+1F600 GRINNING FACE as the escaped pair \uD83D\uDE00.
+        assert_eq!(
+            parse(r#""\uD83D\uDE00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        // Pair embedded between BMP text and escapes.
+        assert_eq!(
+            parse(r#""a\uD83D\uDE00z \u00E9""#).unwrap(),
+            Json::Str("a\u{1F600}z \u{e9}".into())
+        );
+        // The writer emits astral chars as raw UTF-8; the parser accepts
+        // both spellings and they agree.
+        let v = Json::Str("grin \u{1F600} flag \u{1F1E6}\u{1F1F6}".into());
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(
+            parse(r#""grin \uD83D\uDE00 flag \uD83C\uDDE6\uD83C\uDDF6""#).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Unpaired high surrogate, at end and mid-string.
+        assert_eq!(parse(r#""\uD83D""#).unwrap(), Json::Str("\u{fffd}".into()));
+        assert_eq!(
+            parse(r#""x\uD83Dy""#).unwrap(),
+            Json::Str("x\u{fffd}y".into())
+        );
+        // Unpaired low surrogate.
+        assert_eq!(
+            parse(r#""\uDE00x""#).unwrap(),
+            Json::Str("\u{fffd}x".into())
+        );
+        // High surrogate followed by a non-surrogate escape: U+FFFD, then
+        // the escape decodes normally.
+        assert_eq!(
+            parse(r#""\uD83DA""#).unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
+        // Two high surrogates in a row.
+        assert_eq!(
+            parse(r#""\uD83D\uD83D""#).unwrap(),
+            Json::Str("\u{fffd}\u{fffd}".into())
+        );
+        // Truncated second escape still errors.
+        assert!(parse(r#""\uD83D\u00""#).is_err());
+    }
+
+    #[test]
+    fn u64_boundary_integers_parse_exactly() {
+        // u64::MAX is far beyond f64's 2^53 exact range; the integer fast
+        // path must keep it exact.
+        let text = format!("{}", u64::MAX);
+        assert_eq!(parse(&text).unwrap(), Json::Int(u64::MAX));
+        // 2^53 + 1 is the first integer a f64 round-trip would corrupt.
+        let n = (1u64 << 53) + 1;
+        assert_eq!(parse(&n.to_string()).unwrap(), Json::Int(n));
+        assert_ne!((n as f64) as u64, n, "f64 would have corrupted this");
+        // Negative and fractional numbers stay on the f64 path.
+        assert_eq!(parse("-17").unwrap(), Json::Num(-17.0));
+        assert_eq!(parse("3.5").unwrap(), Json::Num(3.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
     }
 
     #[test]

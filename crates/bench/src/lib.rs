@@ -10,7 +10,7 @@
 
 use migrate_apps::btree::BTreeExperiment;
 use migrate_apps::counting::CountingExperiment;
-use migrate_rt::{categories as cat, EngineProfile, RunMetrics, Scheme};
+use migrate_rt::{categories as cat, Annotation, EngineProfile, RunMetrics, Scheme};
 use proteus::Cycles;
 
 pub mod json;
@@ -410,6 +410,223 @@ pub fn failover_sweep(seed: u64) -> Vec<Row> {
 }
 
 // ----------------------------------------------------------------------
+// Adaptive dispatch: the `adaptive` sweep (paper §7's open problem)
+// ----------------------------------------------------------------------
+
+/// The three dispatch variants an adaptive cell compares: the two static
+/// annotations a §3.1 programmer would choose between, plus the online
+/// policy (`Annotation::Auto`) that decides per call site at run time.
+/// Row order is fixed; [`adaptive_validity`] indexes into it.
+pub fn adaptive_variants() -> Vec<(&'static str, Scheme, Annotation)> {
+    vec![
+        ("static RPC", Scheme::rpc(), Annotation::Rpc),
+        (
+            "static CM",
+            Scheme::computation_migration(),
+            Annotation::Migrate,
+        ),
+        (
+            "adaptive",
+            Scheme::computation_migration(),
+            Annotation::Auto,
+        ),
+    ]
+}
+
+/// One adaptive B-tree cell at paper scale, audited. Panics if the cycle
+/// audit fails or the tree violates a structural invariant afterwards.
+pub fn adaptive_cell_btree(seed: u64, scheme: Scheme, annotation: Annotation) -> RunMetrics {
+    let exp = BTreeExperiment {
+        seed: 0xADA5 ^ seed,
+        annotation,
+        audit: true,
+        ..BTreeExperiment::paper(0, scheme)
+    };
+    let (mut runner, root) = exp.build();
+    let metrics = runner.run(BTREE_WARMUP, BTREE_WINDOW);
+    runner
+        .system
+        .audit()
+        .unwrap_or_else(|e| panic!("seed {seed}: adaptive btree audit failed: {e}"));
+    migrate_apps::btree::verify_tree(&runner.system, root)
+        .unwrap_or_else(|e| panic!("seed {seed}: adaptive btree corrupt: {e}"));
+    metrics
+}
+
+/// One adaptive counting-network cell at paper scale, audited.
+pub fn adaptive_cell_counting(seed: u64, scheme: Scheme, annotation: Annotation) -> RunMetrics {
+    let exp = CountingExperiment {
+        seed: 0xADA5 ^ seed,
+        annotation,
+        audit: true,
+        ..CountingExperiment::paper(16, 0, scheme)
+    };
+    let (mut runner, _spec) = exp.build();
+    let metrics = runner.run(COUNTING_WARMUP, COUNTING_WINDOW);
+    runner
+        .system
+        .audit()
+        .unwrap_or_else(|e| panic!("seed {seed}: adaptive counting audit failed: {e}"));
+    metrics
+}
+
+/// One adaptive comparison point: one application and seed measured under
+/// every [`adaptive_variants`] row.
+#[derive(Clone, Debug)]
+pub struct AdaptiveCell {
+    /// Application ("counting" or "btree").
+    pub app: &'static str,
+    /// Experiment seed (xored into the machine seed).
+    pub seed: u64,
+    /// Rows in [`adaptive_variants`] order.
+    pub rows: Vec<Row>,
+}
+
+impl AdaptiveCell {
+    /// Mean charged cycles per completed operation for variant row `i` —
+    /// the cost metric the acceptance bound compares (total charged cycles
+    /// normalizes away the fixed measurement window; per-op makes cells
+    /// with different completion counts comparable).
+    pub fn cycles_per_op(&self, i: usize) -> f64 {
+        let m = &self.rows[i].metrics;
+        m.accounting.grand_total() as f64 / m.ops.max(1) as f64
+    }
+}
+
+/// The `adaptive` sweep: both applications × every seed × the three
+/// dispatch variants, on the worker pool. Row-major like
+/// [`counting_sweep`]: app outer, seed middle, variant inner.
+pub fn adaptive_sweep(seeds: &[u64]) -> Vec<AdaptiveCell> {
+    let variants = adaptive_variants();
+    let mut keys: Vec<(&'static str, u64, Scheme, Annotation)> = Vec::new();
+    for &app in &["btree", "counting"] {
+        for &seed in seeds {
+            for &(_, scheme, annotation) in &variants {
+                keys.push((app, seed, scheme, annotation));
+            }
+        }
+    }
+    let mut metrics = pool::map_indexed(&keys, |&(app, seed, scheme, annotation)| {
+        if app == "btree" {
+            adaptive_cell_btree(seed, scheme, annotation)
+        } else {
+            adaptive_cell_counting(seed, scheme, annotation)
+        }
+    })
+    .into_iter();
+    let mut cells = Vec::new();
+    for &app in &["btree", "counting"] {
+        for &seed in seeds {
+            cells.push(AdaptiveCell {
+                app,
+                seed,
+                rows: variants
+                    .iter()
+                    .map(|&(label, _, _)| Row {
+                        label: label.to_string(),
+                        metrics: metrics.next().expect("cell computed"),
+                    })
+                    .collect(),
+            });
+        }
+    }
+    cells
+}
+
+/// Check an adaptive sweep's acceptance properties and render one
+/// self-asserting `adaptive-ok` line per check (CI greps for the marker).
+///
+/// Panics unless, in every cell: the adaptive row carries policy stats
+/// with at least one consultation while both static rows carry none, the
+/// B-tree adaptive cost lands within 10% of the best static variant, and
+/// the counting adaptive run actually migrates. In aggregate over all
+/// seeds, adaptive must strictly beat always-RPC on both applications.
+pub fn adaptive_validity(cells: &[AdaptiveCell]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut agg: std::collections::BTreeMap<&'static str, (f64, f64)> =
+        std::collections::BTreeMap::new();
+    for cell in cells {
+        let (app, seed) = (cell.app, cell.seed);
+        let rpc = cell.cycles_per_op(0);
+        let cm = cell.cycles_per_op(1);
+        let ada = cell.cycles_per_op(2);
+        for i in 0..2 {
+            assert!(
+                cell.rows[i].metrics.policy.is_none(),
+                "{app} seed {seed}: static variant {:?} grew policy stats",
+                cell.rows[i].label
+            );
+        }
+        let m = &cell.rows[2].metrics;
+        let p = m
+            .policy
+            .as_ref()
+            .unwrap_or_else(|| panic!("{app} seed {seed}: adaptive run has no policy stats"));
+        assert!(
+            p.decisions > 0 && p.decisions == p.migrate_decisions + p.rpc_decisions,
+            "{app} seed {seed}: inconsistent policy decisions {p:?}"
+        );
+        match app {
+            "btree" => {
+                let best = rpc.min(cm);
+                assert!(
+                    ada <= best * 1.10,
+                    "{app} seed {seed}: adaptive {ada:.1} cyc/op not within 10% of \
+                     best static {best:.1} (rpc {rpc:.1}, cm {cm:.1})"
+                );
+                lines.push(format!(
+                    "adaptive-ok btree seed={seed}: adaptive {ada:.1} cyc/op within 10% of \
+                     best static {best:.1} (rpc {rpc:.1}, cm {cm:.1})"
+                ));
+            }
+            _ => {
+                assert!(
+                    m.migrations > 0,
+                    "{app} seed {seed}: adaptive run never migrated"
+                );
+                lines.push(format!(
+                    "adaptive-ok counting seed={seed}: adaptive {ada:.1} cyc/op \
+                     (rpc {rpc:.1}, cm {cm:.1}), {} migrations",
+                    m.migrations
+                ));
+            }
+        }
+        let e = agg.entry(app).or_insert((0.0, 0.0));
+        e.0 += rpc;
+        e.1 += ada;
+    }
+    for (app, (rpc_sum, ada_sum)) in agg {
+        assert!(
+            ada_sum < rpc_sum,
+            "{app}: adaptive did not beat always-RPC in aggregate \
+             ({ada_sum:.0} >= {rpc_sum:.0} cyc/op summed)"
+        );
+        lines.push(format!(
+            "adaptive-ok {app} aggregate: adaptive {ada_sum:.0} summed cyc/op \
+             strictly beats always-RPC {rpc_sum:.0}"
+        ));
+    }
+    lines
+}
+
+/// Serialize adaptive cells to a JSON array (adaptive rows carry the
+/// `policy` object via [`metrics_to_json`]; static rows do not).
+pub fn adaptive_to_json(cells: &[AdaptiveCell]) -> Json {
+    Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("app", Json::Str(c.app.to_string())),
+                    ("seed", Json::Int(c.seed)),
+                    ("rows", rows_to_json(&c.rows)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+// ----------------------------------------------------------------------
 // Self-measurement: the `--profile` mode / `perf` harness
 // ----------------------------------------------------------------------
 
@@ -782,6 +999,20 @@ pub fn metrics_to_json(m: &RunMetrics) -> Json {
             ]),
         ));
     }
+    if let Some(p) = &m.policy {
+        fields.push((
+            "policy",
+            obj(vec![
+                ("decisions", Json::Int(p.decisions)),
+                ("migrate_decisions", Json::Int(p.migrate_decisions)),
+                ("rpc_decisions", Json::Int(p.rpc_decisions)),
+                ("flips", Json::Int(p.flips)),
+                ("episodes", Json::Int(p.episodes)),
+                ("sites", Json::Int(p.sites)),
+                ("window_occupancy", Json::Int(p.window_occupancy)),
+            ]),
+        ));
+    }
     obj(fields)
 }
 
@@ -883,6 +1114,26 @@ mod tests {
             .unwrap()
             .cycles;
         assert!((100.0..220.0).contains(&user), "user code {user}");
+    }
+
+    #[test]
+    fn adaptive_sweep_validates_and_serializes() {
+        let cells = adaptive_sweep(&[0, 1]);
+        assert_eq!(cells.len(), 4); // 2 apps x 2 seeds
+        let lines = adaptive_validity(&cells);
+        assert!(lines.iter().all(|l| l.starts_with("adaptive-ok")));
+        // Per-cell lines plus one aggregate line per app.
+        assert_eq!(lines.len(), cells.len() + 2);
+        let json = adaptive_to_json(&cells).render();
+        assert!(json.contains("\"policy\""));
+        assert!(json.contains("\"migrate_decisions\""));
+    }
+
+    #[test]
+    fn policy_field_absent_without_auto_annotation() {
+        let m = counting_cell(8, 0, Scheme::computation_migration());
+        assert!(m.policy.is_none());
+        assert!(!metrics_to_json(&m).render().contains("\"policy\""));
     }
 
     #[test]

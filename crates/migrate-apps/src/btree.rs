@@ -18,8 +18,8 @@
 //! cache-coherent shared memory its large bandwidth appetite in Table 2.
 
 use migrate_rt::{
-    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner, Scheme,
-    StepCtx, StepResult, System, Word,
+    Annotation, Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner,
+    Scheme, StepCtx, StepResult, System, Word,
 };
 use proteus::{Cycles, ProcId};
 use rand::rngs::StdRng;
@@ -367,17 +367,33 @@ pub struct BTreeOp {
     /// Ancestors visited, nearest last — consumed when splits propagate up.
     path: Vec<Goid>,
     phase: OpPhase,
+    annotation: Annotation,
 }
 
 impl BTreeOp {
-    /// A lookup (or insert) of `key` starting at `root`.
+    /// A lookup (or insert) of `key` starting at `root`, with the paper's
+    /// static migration annotation at every node visit.
     pub fn new(root: Goid, key: u64, insert: bool) -> BTreeOp {
+        BTreeOp::annotated(root, key, insert, Annotation::Migrate)
+    }
+
+    /// Like [`BTreeOp::new`] with an explicit call-site annotation
+    /// (`Annotation::Auto` hands the choice to the adaptive policy).
+    pub fn annotated(root: Goid, key: u64, insert: bool, annotation: Annotation) -> BTreeOp {
         BTreeOp {
             key,
             insert,
             current: root,
             path: Vec::new(),
             phase: OpPhase::Descend,
+            annotation,
+        }
+    }
+
+    fn invoke(&self, method: MethodId, args: Vec<Word>) -> Invoke {
+        Invoke {
+            annotation: self.annotation,
+            ..Invoke::rpc(self.current, method, args)
         }
     }
 }
@@ -385,17 +401,13 @@ impl BTreeOp {
 impl Frame for BTreeOp {
     fn step(&mut self, _ctx: &StepCtx) -> StepResult {
         match &self.phase {
-            OpPhase::Descend => StepResult::Invoke(
-                Invoke::migrate(self.current, M_DESCEND, vec![self.key]).reading(),
-            ),
-            OpPhase::InsertLeaf => {
-                StepResult::Invoke(Invoke::migrate(self.current, M_INSERT, vec![self.key]))
+            OpPhase::Descend => {
+                StepResult::Invoke(self.invoke(M_DESCEND, vec![self.key]).reading())
             }
-            OpPhase::Ascend { sep, child } => StepResult::Invoke(Invoke::migrate(
-                self.current,
-                M_ADD_CHILD,
-                vec![*sep, child.0],
-            )),
+            OpPhase::InsertLeaf => StepResult::Invoke(self.invoke(M_INSERT, vec![self.key])),
+            OpPhase::Ascend { sep, child } => {
+                StepResult::Invoke(self.invoke(M_ADD_CHILD, vec![*sep, child.0]))
+            }
             OpPhase::Finished(v) => StepResult::Return(vec![*v]),
         }
     }
@@ -462,6 +474,10 @@ pub struct BTreeDriver {
     /// Stop after this many requests (`u64::MAX` = run to the horizon).
     /// Capped drivers halt, letting the machine drain to quiescence.
     pub max_requests: u64,
+    /// Call-site annotation stamped on every node visit the spawned
+    /// operations make (`Migrate` reproduces the paper's static choice;
+    /// `Auto` hands it to the adaptive policy).
+    pub annotation: Annotation,
 }
 
 impl BTreeDriver {
@@ -474,6 +490,7 @@ impl BTreeDriver {
             thinking: false,
             completed: 0,
             max_requests: u64::MAX,
+            annotation: Annotation::Migrate,
         }
     }
 }
@@ -489,7 +506,12 @@ impl Frame for BTreeDriver {
         }
         self.thinking = false;
         let req = self.stream.next_request();
-        StepResult::Call(Box::new(BTreeOp::new(self.root, req.key, req.insert)))
+        StepResult::Call(Box::new(BTreeOp::annotated(
+            self.root,
+            req.key,
+            req.insert,
+            self.annotation,
+        )))
     }
     fn on_result(&mut self, _r: &[Word]) {
         self.completed += 1;
@@ -545,6 +567,12 @@ pub struct BTreeExperiment {
     /// Failure detection + primary-backup replication (off by default; the
     /// disabled path is byte-identical to a build without failover).
     pub failover: migrate_rt::FailoverConfig,
+    /// Call-site annotation on every node visit (`Migrate` = the paper's
+    /// static choice, the default; `Auto` = adaptive dispatch).
+    pub annotation: Annotation,
+    /// Adaptive-policy tuning (only consulted when `annotation` is
+    /// `Annotation::Auto` under a migration-enabled scheme).
+    pub policy: migrate_rt::PolicyConfig,
 }
 
 impl BTreeExperiment {
@@ -569,6 +597,8 @@ impl BTreeExperiment {
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
             failover: migrate_rt::FailoverConfig::default(),
+            annotation: Annotation::Migrate,
+            policy: migrate_rt::PolicyConfig::default(),
         }
     }
 
@@ -591,6 +621,7 @@ impl BTreeExperiment {
         cfg.faults = self.faults.clone();
         cfg.recovery = self.recovery.clone();
         cfg.failover = self.failover.clone();
+        cfg.policy = self.policy.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -617,6 +648,7 @@ impl BTreeExperiment {
                 self.insert_permille,
             );
             let mut driver = BTreeDriver::new(root, self.think, stream);
+            driver.annotation = self.annotation;
             if let Some(cap) = self.requests_per_thread {
                 driver.max_requests = cap;
             }
@@ -881,6 +913,8 @@ mod tests {
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
             failover: migrate_rt::FailoverConfig::default(),
+            annotation: Annotation::Migrate,
+            policy: migrate_rt::PolicyConfig::default(),
         }
     }
 
@@ -1048,5 +1082,34 @@ mod tests {
             (m.ops, m.messages, stats.keys, stats.nodes)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adaptive_annotation_learns_to_migrate_descents() {
+        // Descents hop across randomly-placed nodes (multiple remote
+        // accesses per op), so the policy must converge on migration — with
+        // the busy==charged audit green throughout.
+        let mut exp = small(Scheme::computation_migration());
+        exp.annotation = Annotation::Auto;
+        exp.audit = true;
+        let m = exp.run(Cycles(100_000), Cycles(400_000));
+        assert!(m.ops > 0);
+        assert!(m.migrations > 0, "the policy must learn to migrate");
+        let p = m.policy.expect("policy active under Auto + CM");
+        assert!(p.migrate_decisions > 0);
+        assert!(p.episodes > 0);
+        assert!(m.audit.is_some(), "audit green under Annotation::Auto");
+    }
+
+    #[test]
+    fn adaptive_annotation_inert_under_rpc_scheme() {
+        // The scheme forbids migration, so Auto degenerates to RPC and the
+        // policy engine is never even consulted.
+        let mut exp = small(Scheme::rpc());
+        exp.annotation = Annotation::Auto;
+        let m = exp.run(Cycles(100_000), Cycles(400_000));
+        assert!(m.ops > 0);
+        assert_eq!(m.migrations, 0);
+        assert!(m.policy.is_none());
     }
 }

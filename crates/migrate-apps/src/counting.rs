@@ -18,8 +18,8 @@
 use std::sync::Arc;
 
 use migrate_rt::{
-    Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner, Scheme,
-    StepCtx, StepResult, Word,
+    Annotation, Behavior, Frame, Invoke, MachineConfig, MethodEnv, MethodId, RunMetrics, Runner,
+    Scheme, StepCtx, StepResult, Word,
 };
 use proteus::{Cycles, ProcId};
 
@@ -357,11 +357,24 @@ pub struct TraverseOp {
     /// Local per-hop bookkeeping cost (frame user code).
     step_compute: u64,
     hop_charged: bool,
+    annotation: Annotation,
 }
 
 impl TraverseOp {
-    /// A request entering on `wire`.
+    /// A request entering on `wire`, with the paper's static migration
+    /// annotation at every hop.
     pub fn new(spec: Arc<CountingSpec>, wire: u32, step_compute: u64) -> TraverseOp {
+        TraverseOp::annotated(spec, wire, step_compute, Annotation::Migrate)
+    }
+
+    /// Like [`TraverseOp::new`] with an explicit call-site annotation
+    /// (`Annotation::Auto` hands the choice to the adaptive policy).
+    pub fn annotated(
+        spec: Arc<CountingSpec>,
+        wire: u32,
+        step_compute: u64,
+        annotation: Annotation,
+    ) -> TraverseOp {
         TraverseOp {
             spec,
             wire,
@@ -369,6 +382,7 @@ impl TraverseOp {
             value: None,
             step_compute,
             hop_charged: false,
+            annotation,
         }
     }
 }
@@ -387,12 +401,18 @@ impl Frame for TraverseOp {
         }
         if (self.layer as usize) < self.spec.wiring.depth() {
             let balancer = self.spec.balancer_at(self.layer as usize, self.wire);
-            let mut inv = Invoke::migrate(balancer, M_TRAVERSE, vec![]);
+            let mut inv = Invoke {
+                annotation: self.annotation,
+                ..Invoke::rpc(balancer, M_TRAVERSE, vec![])
+            };
             inv.args.push(Word::from(self.wire));
             StepResult::Invoke(inv)
         } else {
             let counter = self.spec.counters[self.wire as usize];
-            StepResult::Invoke(Invoke::migrate(counter, M_NEXT_VALUE, vec![]))
+            StepResult::Invoke(Invoke {
+                annotation: self.annotation,
+                ..Invoke::rpc(counter, M_NEXT_VALUE, vec![])
+            })
         }
     }
 
@@ -431,6 +451,10 @@ pub struct RequestDriver {
     pub completed: u64,
     /// Stop after this many requests (`u64::MAX` = run to the horizon).
     pub max_requests: u64,
+    /// Call-site annotation stamped on every hop the spawned traversals
+    /// make (`Migrate` reproduces the paper's static choice; `Auto` hands
+    /// it to the adaptive policy).
+    pub annotation: Annotation,
 }
 
 impl RequestDriver {
@@ -444,6 +468,7 @@ impl RequestDriver {
             thinking: false,
             completed: 0,
             max_requests: u64::MAX,
+            annotation: Annotation::Migrate,
         }
     }
 }
@@ -458,10 +483,11 @@ impl Frame for RequestDriver {
             return StepResult::Sleep(self.think);
         }
         self.thinking = false;
-        StepResult::Call(Box::new(TraverseOp::new(
+        StepResult::Call(Box::new(TraverseOp::annotated(
             self.spec.clone(),
             self.entry_wire,
             self.step_compute,
+            self.annotation,
         )))
     }
 
@@ -529,6 +555,12 @@ pub struct CountingExperiment {
     /// Failure detection + primary-backup replication (off by default; the
     /// disabled path is byte-identical to a build without failover).
     pub failover: migrate_rt::FailoverConfig,
+    /// Call-site annotation on every hop (`Migrate` = the paper's static
+    /// choice, the default; `Auto` = adaptive dispatch).
+    pub annotation: Annotation,
+    /// Adaptive-policy tuning (only consulted when `annotation` is
+    /// `Annotation::Auto` under a migration-enabled scheme).
+    pub policy: migrate_rt::PolicyConfig,
 }
 
 impl CountingExperiment {
@@ -551,6 +583,8 @@ impl CountingExperiment {
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
             failover: migrate_rt::FailoverConfig::default(),
+            annotation: Annotation::Migrate,
+            policy: migrate_rt::PolicyConfig::default(),
         }
     }
 
@@ -572,6 +606,7 @@ impl CountingExperiment {
         cfg.faults = self.faults.clone();
         cfg.recovery = self.recovery.clone();
         cfg.failover = self.failover.clone();
+        cfg.policy = self.policy.clone();
         if let Some(coh) = &self.coherence_override {
             cfg.coherence = coh.clone();
         }
@@ -630,6 +665,7 @@ impl CountingExperiment {
 
         for r in 0..self.requesters {
             let mut driver = RequestDriver::new(spec.clone(), r % self.width, self.think, 10);
+            driver.annotation = self.annotation;
             if let Some(cap) = self.requests_per_thread {
                 driver.max_requests = cap;
             }

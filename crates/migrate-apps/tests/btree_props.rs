@@ -138,6 +138,8 @@ proptest! {
             faults: None,
             recovery: migrate_rt::RecoveryConfig::default(),
             failover: migrate_rt::FailoverConfig::default(),
+            annotation: migrate_rt::Annotation::Migrate,
+            policy: migrate_rt::PolicyConfig::default(),
         };
         let (mut runner, root) = exp.build();
         runner.run_until(Cycles(1_500_000));

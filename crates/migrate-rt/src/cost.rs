@@ -90,6 +90,12 @@ pub mod categories {
     pub const REPLICATION_DELTA_SEND: &str = "replication.delta_send";
     /// Primary-backup replication: applying a state delta at the backup.
     pub const REPLICATION_DELTA_APPLY: &str = "replication.delta_apply";
+    /// Adaptive dispatch: consulting the per-call-site policy at an
+    /// [`crate::mechanism::Annotation::Auto`] dispatch point.
+    pub const POLICY_DECIDE: &str = "policy.decide";
+    /// Adaptive dispatch: recording a finished operation's remote-access
+    /// count into its call site's sliding window.
+    pub const POLICY_UPDATE: &str = "policy.update";
 
     /// Every category the runtime may charge, in report order. The audit
     /// mode checks each charged category against this registry, so a new
@@ -128,6 +134,8 @@ pub mod categories {
         RECOVERY_REROUTE,
         REPLICATION_DELTA_SEND,
         REPLICATION_DELTA_APPLY,
+        POLICY_DECIDE,
+        POLICY_UPDATE,
     ];
 }
 
@@ -207,6 +215,8 @@ define_category_ids!(
     RECOVERY_REROUTE,
     REPLICATION_DELTA_SEND,
     REPLICATION_DELTA_APPLY,
+    POLICY_DECIDE,
+    POLICY_UPDATE,
 );
 
 /// The registry mapping dense [`CategoryId`]s to and from category names.
@@ -378,6 +388,13 @@ pub struct CostModel {
     pub delta_send: Cycles,
     /// Applying one replication state delta at the backup.
     pub delta_apply: Cycles,
+    /// Consulting the adaptive dispatch policy at one `Auto` call site: a
+    /// table lookup plus an integer threshold compare (only charged when a
+    /// scheme with migration enabled dispatches an `Auto` invoke remotely).
+    pub policy_decide: Cycles,
+    /// Folding one finished operation's remote-access count into its call
+    /// site's sliding window (ring-buffer store plus running-sum update).
+    pub policy_update: Cycles,
 }
 
 impl Default for CostModel {
@@ -413,6 +430,8 @@ impl Default for CostModel {
             reroute: Cycles(60),
             delta_send: Cycles(40),
             delta_apply: Cycles(30),
+            policy_decide: Cycles(6),
+            policy_update: Cycles(12),
         }
     }
 }
@@ -568,6 +587,14 @@ mod tests {
         assert_eq!(
             category_ids::REPLICATION_DELTA_APPLY.name(),
             categories::REPLICATION_DELTA_APPLY
+        );
+        assert_eq!(
+            category_ids::POLICY_DECIDE.name(),
+            categories::POLICY_DECIDE
+        );
+        assert_eq!(
+            category_ids::POLICY_UPDATE.name(),
+            categories::POLICY_UPDATE
         );
         for (i, id) in CategoryTable::iter().enumerate() {
             assert_eq!(id.index(), i);

@@ -70,6 +70,15 @@ impl Invoke {
         }
     }
 
+    /// An invocation whose mechanism is chosen online by the adaptive
+    /// dispatch policy (see [`Annotation::Auto`] and [`crate::policy`]).
+    pub fn auto(target: Goid, method: MethodId, args: impl Into<WordVec>) -> Invoke {
+        Invoke {
+            annotation: Annotation::Auto,
+            ..Invoke::rpc(target, method, args)
+        }
+    }
+
     /// Mark the method as read-only (replica-servable).
     pub fn reading(mut self) -> Invoke {
         self.read_only = true;

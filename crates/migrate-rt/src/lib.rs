@@ -78,6 +78,7 @@ pub mod frame;
 pub mod mechanism;
 pub mod message;
 pub mod object;
+pub mod policy;
 pub mod rng;
 pub mod system;
 pub mod types;
@@ -88,6 +89,7 @@ pub use frame::{Frame, Invoke, StepCtx, StepResult};
 pub use mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 pub use message::{Message, MessageKind, Payload};
 pub use object::{Behavior, MethodEnv, ObjectEntry, ObjectTable};
+pub use policy::{PolicyConfig, PolicyDecision, PolicyEngine, PolicyStats};
 pub use system::{
     AuditSummary, EngineProfile, Event, FailoverConfig, FailoverStats, MachineConfig,
     ProcWindowStats, RecoveryConfig, RecoveryStats, RunMetrics, Runner, System,

@@ -28,6 +28,16 @@ pub enum Annotation {
     /// multiple-activation migration the paper names as future work (§6).
     /// From an already-migrated group, this moves the entire group again.
     MigrateAll,
+    /// Let the runtime decide online between RPC and computation migration,
+    /// per call site — the §7 open problem ("deciding when to migrate...
+    /// could be made dynamically based on reference patterns"). The policy
+    /// engine ([`crate::policy`]) tracks a sliding window of remote-access
+    /// counts per call site and migrates once the observed mean crosses a
+    /// threshold, decaying back to RPC when locality disappears. Under a
+    /// scheme with `migration` disabled, `Auto` is inert and behaves exactly
+    /// like [`Annotation::Rpc`] — the policy can never emit a mechanism the
+    /// scheme forbids.
+    Auto,
 }
 
 /// How remote data is reached at the machine level.

@@ -31,6 +31,7 @@ use crate::frame::{Frame, Invoke, StepCtx, StepResult};
 use crate::mechanism::{Annotation, DataAccess, DispatchKind, DispatchStats, Scheme};
 use crate::message::{Message, MessageKind, Payload};
 use crate::object::{Behavior, MethodEnv, ObjectTable};
+use crate::policy::{PolicyConfig, PolicyEngine, PolicyStats};
 use crate::rng::SplitMix64;
 use crate::types::{Goid, ThreadId, Word, WordVec};
 
@@ -81,6 +82,12 @@ pub struct MachineConfig {
     /// runtime's behaviour is bit-identical to a build without the feature
     /// (no probes, no deltas, no extra state consulted on the hot path).
     pub failover: FailoverConfig,
+    /// Tuning of the adaptive dispatch policy consulted for
+    /// [`Annotation::Auto`] call sites (see [`crate::policy`]). Only
+    /// consulted when the scheme has migration enabled *and* an `Auto`
+    /// invoke reaches a remote dispatch point; otherwise the engine stays
+    /// inert and artifacts are byte-identical to a build without it.
+    pub policy: PolicyConfig,
 }
 
 /// Configuration of the fail-stop tolerance layer: a heartbeat-based failure
@@ -220,6 +227,7 @@ impl MachineConfig {
             faults: None,
             recovery: RecoveryConfig::default(),
             failover: FailoverConfig::default(),
+            policy: PolicyConfig::default(),
         }
     }
 }
@@ -415,6 +423,15 @@ struct ThreadState {
     stack: Vec<Box<dyn Frame>>,
     status: ThreadStatus,
     op_started: Option<Cycles>,
+    /// Call site of the first [`Annotation::Auto`] invoke of the current
+    /// operation, if any: the open policy *episode*. Closed (folded into the
+    /// site's sliding window) when the operation completes.
+    auto_site: Option<&'static str>,
+    /// Remote data accesses observed by the open episode: `Auto` invokes
+    /// whose target is homed away from the *thread's* home and not served by
+    /// a local replica. The thread home is stable while detached, so this
+    /// count measures the access pattern, not the policy's own choices.
+    auto_remote: u32,
 }
 
 /// A migrating activation group with its pending invoke, as carried by
@@ -512,6 +529,11 @@ pub struct RunMetrics {
     /// Failure-detection and replication activity in the window (`Some`
     /// exactly when [`MachineConfig::failover`] is enabled).
     pub failover: Option<FailoverStats>,
+    /// Adaptive-dispatch policy activity in the window (`Some` exactly when
+    /// the policy engine was consulted at least once over the run — i.e.
+    /// some [`Annotation::Auto`] call site dispatched remotely under a
+    /// migration-enabled scheme).
+    pub policy: Option<PolicyStats>,
 }
 
 /// The machine + runtime state. Implements [`Simulation`] so a
@@ -583,6 +605,9 @@ pub struct System {
     /// Per-object replication delta sequence numbers (primary side).
     delta_seqs: HashMap<Goid, u64>,
     failover: FailoverStats,
+    /// Adaptive dispatch policy (see [`crate::policy`]). Consulted only for
+    /// [`Annotation::Auto`] dispatches under migration-enabled schemes.
+    policy: PolicyEngine,
 }
 
 impl System {
@@ -634,6 +659,7 @@ impl System {
             declared_dead: vec![false; n as usize],
             delta_seqs: HashMap::new(),
             failover: FailoverStats::default(),
+            policy: PolicyEngine::new(cfg.policy.clone()),
             cfg,
         }
     }
@@ -748,6 +774,8 @@ impl System {
             stack: vec![driver],
             status: ThreadStatus::Active,
             op_started: None,
+            auto_site: None,
+            auto_remote: 0,
         });
         tid
     }
@@ -792,6 +820,10 @@ impl System {
             // replays identically whether or not a warm-up preceded it.
             f.reset_stats();
         }
+        // Same contract as the fault injector: counters restart, but the
+        // sliding windows (and each site's current mode) persist — warm-up
+        // is how the policy learns.
+        self.policy.reset_stats();
     }
 
     /// Cross-check the window's cycle accounting (see
@@ -896,6 +928,7 @@ impl System {
             recovery: self.faults.as_ref().map(|_| self.recovery.clone()),
             faults: self.faults.as_ref().map(|f| f.stats().clone()),
             failover: self.cfg.failover.enabled.then(|| self.failover.clone()),
+            policy: self.policy.is_active().then(|| self.policy.stats()),
         }
     }
 
@@ -1886,11 +1919,75 @@ impl System {
     // Operation bookkeeping
     // ------------------------------------------------------------------
 
-    fn complete_op(&mut self, tid: ThreadId, at: Cycles) {
+    /// Close one operation: count it, record its latency, and fold any open
+    /// adaptive-dispatch episode into the policy's sliding window. Returns
+    /// the cycles charged for the policy update so the caller can include
+    /// them in its busy accumulator (the audit's busy==charged identity).
+    fn complete_op(&mut self, tid: ThreadId, at: Cycles) -> Cycles {
         self.ops_completed += 1;
-        if let Some(start) = self.threads[tid.index()].op_started.take() {
+        let t = tid.index();
+        if let Some(start) = self.threads[t].op_started.take() {
             self.op_latency.record(at - start);
         }
+        if let Some(site) = self.threads[t].auto_site.take() {
+            let remote = std::mem::take(&mut self.threads[t].auto_remote);
+            self.policy.record_episode(site, remote);
+            self.charge(cat::POLICY_UPDATE, self.cost.policy_update);
+            self.cost.policy_update
+        } else {
+            Cycles::ZERO
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive dispatch (Annotation::Auto)
+    // ------------------------------------------------------------------
+
+    /// Track one `Auto` invoke for the thread's open policy episode: open
+    /// the episode at the first `Auto` invoke of the operation (local or
+    /// not, so an all-local operation still records a 0-sample and decays
+    /// its site back toward RPC), and count the access when the target is
+    /// homed away from the *thread's* home and not served by a local
+    /// replica. The thread home never changes while the activation is
+    /// detached, so the count reflects the access pattern rather than the
+    /// policy's own placement choices — migrating does not erase the
+    /// evidence that migration was right.
+    fn note_auto_access(
+        &mut self,
+        tid: ThreadId,
+        site: &'static str,
+        target_home: ProcId,
+        replica_served: bool,
+    ) {
+        let t = tid.index();
+        if self.threads[t].auto_site.is_none() {
+            self.threads[t].auto_site = Some(site);
+            self.threads[t].auto_remote = 0;
+        }
+        if target_home != self.threads[t].home && !replica_served {
+            self.threads[t].auto_remote = self.threads[t].auto_remote.saturating_add(1);
+        }
+    }
+
+    /// Consult the policy engine for one remote `Auto` dispatch. The caller
+    /// has already charged (and accumulated) [`CostModel::policy_decide`].
+    /// Emits a trace event when the site changes mode.
+    fn policy_decide(&mut self, now: Cycles, proc: ProcId, site: &'static str) -> bool {
+        self.charge(cat::POLICY_DECIDE, self.cost.policy_decide);
+        let d = self.policy.decide(site);
+        if d.flipped {
+            self.tracer.emit_with(|| TraceEvent {
+                at: now,
+                source: "runtime",
+                kind: "policy-flip",
+                proc: Some(proc),
+                detail: format!(
+                    "site={site} mode={}",
+                    if d.migrate { "migrate" } else { "rpc" }
+                ),
+            });
+        }
+        d.migrate
     }
 
     // ------------------------------------------------------------------
@@ -1922,7 +2019,7 @@ impl System {
         self.threads[t].status = ThreadStatus::Active;
         if let Some((results, completes_op)) = deliver {
             if completes_op {
-                self.complete_op(tid, now + acc);
+                acc += self.complete_op(tid, now + acc);
             }
             frame.on_result(&results);
         }
@@ -1959,7 +2056,7 @@ impl System {
                 }
                 StepResult::Return(vals) => {
                     if frame.is_operation() {
-                        self.complete_op(tid, now + acc);
+                        acc += self.complete_op(tid, now + acc);
                     }
                     match self.threads[t].stack.pop() {
                         Some(mut parent) => {
@@ -2078,7 +2175,11 @@ impl System {
                         self.charge(cat::LOCALITY_CHECK, self.cost.locality_check);
                         acc += self.cost.locality_check;
                         let home = self.objects.home(inv.target);
-                        if home == proc || self.replica_readable(proc, &inv) {
+                        let replica_served = home != proc && self.replica_readable(proc, &inv);
+                        if inv.annotation == Annotation::Auto && self.cfg.scheme.migration {
+                            self.note_auto_access(tid, frame.label(), home, replica_served);
+                        }
+                        if home == proc || replica_served {
                             let kind = if home == proc {
                                 DispatchKind::LocalInline
                             } else {
@@ -2097,6 +2198,14 @@ impl System {
                             Annotation::Migrate => 1,
                             Annotation::MigrateAll => self.threads[t].stack.len(),
                             Annotation::Rpc => 0,
+                            Annotation::Auto => {
+                                if self.cfg.scheme.migration {
+                                    acc += self.cost.policy_decide;
+                                    usize::from(self.policy_decide(now + acc, proc, frame.label()))
+                                } else {
+                                    0
+                                }
+                            }
                         };
                         if self.cfg.scheme.migration
                             && depth > 0
@@ -2252,7 +2361,7 @@ impl System {
                 StepResult::Return(vals) => match lower.pop() {
                     Some(mut parent) => {
                         if frame.is_operation() {
-                            self.complete_op(tid, now + acc);
+                            acc += self.complete_op(tid, now + acc);
                         }
                         self.charge(cat::LOCAL_LINKAGE, self.cost.local_call);
                         acc += self.cost.local_call;
@@ -2286,7 +2395,11 @@ impl System {
                         "detached frames exist only under message passing"
                     );
                     let home = self.objects.home(inv.target);
-                    if home == proc || self.replica_readable(proc, &inv) {
+                    let replica_served = home != proc && self.replica_readable(proc, &inv);
+                    if inv.annotation == Annotation::Auto && self.cfg.scheme.migration {
+                        self.note_auto_access(tid, frame.label(), home, replica_served);
+                    }
+                    if home == proc || replica_served {
                         let kind = if home == proc {
                             DispatchKind::LocalInline
                         } else {
@@ -2299,7 +2412,14 @@ impl System {
                         continue;
                     }
                     let migrate_again = self.cfg.scheme.migration
-                        && matches!(inv.annotation, Annotation::Migrate | Annotation::MigrateAll);
+                        && match inv.annotation {
+                            Annotation::Migrate | Annotation::MigrateAll => true,
+                            Annotation::Rpc => false,
+                            Annotation::Auto => {
+                                acc += self.cost.policy_decide;
+                                self.policy_decide(now + acc, proc, frame.label())
+                            }
+                        };
                     if migrate_again {
                         // Re-migrate the whole group, passing the original
                         // linkage along and leaving nothing behind ("destroy
@@ -3415,6 +3535,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::categories;
     use crate::frame::{StepCtx, StepResult};
     use crate::types::MethodId;
 
@@ -3512,6 +3633,7 @@ mod tests {
                 Annotation::Migrate => Invoke::migrate(target, MethodId(0), vec![]),
                 Annotation::MigrateAll => Invoke::migrate_all(target, MethodId(0), vec![]),
                 Annotation::Rpc => Invoke::rpc(target, MethodId(0), vec![]),
+                Annotation::Auto => Invoke::auto(target, MethodId(0), vec![]),
             };
             StepResult::Invoke(inv)
         }
@@ -4318,6 +4440,118 @@ mod tests {
         assert!(audit.tasks_checked > 0);
         assert_eq!(audit.grand_total, audit.busy_total + audit.transit_total);
         assert_eq!(audit.grand_total, m.accounting.grand_total());
+    }
+
+    #[test]
+    fn auto_learns_to_migrate_a_hot_site() {
+        // 10 ops, each making 3 accesses to one remote object. The first
+        // op's window is empty → 3 RPCs; its episode (3 remote accesses)
+        // crosses the 1.5 threshold, so every later op migrates once and
+        // runs the remaining accesses locally.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            2,
+            &[1],
+            Annotation::Auto,
+            3,
+            10,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(4_000_000));
+        assert_eq!(m.ops, 10);
+        assert_eq!(m.migrations, 9, "all ops after the first migrate");
+        assert_eq!(m.dispatch.site_count("chain-op", DispatchKind::Rpc), 3);
+        assert_eq!(
+            m.dispatch.site_count("chain-op", DispatchKind::Migration),
+            9
+        );
+        let p = m.policy.expect("Auto dispatched remotely: stats present");
+        assert_eq!(p.episodes, 10, "one closed episode per operation");
+        assert_eq!(p.sites, 1);
+        assert_eq!(p.flips, 1, "RPC → migrate exactly once");
+        assert_eq!(p.decisions, p.migrate_decisions + p.rpc_decisions);
+        assert!(p.migrate_decisions >= 9);
+        // Policy bookkeeping is visible in the audited accounting.
+        let decide = m.accounting.total(categories::POLICY_DECIDE);
+        let update = m.accounting.total(categories::POLICY_UPDATE);
+        assert_eq!(decide, p.decisions * 6, "policy.decide = decisions × cost");
+        assert_eq!(update, p.episodes * 12, "policy.update = episodes × cost");
+    }
+
+    #[test]
+    fn auto_is_inert_under_a_migration_disabled_scheme() {
+        // Under the plain-RPC scheme the policy is never consulted: no
+        // migrations, no policy stats, no policy.* charges — an Auto
+        // annotation degenerates to Rpc exactly like Migrate does.
+        let (mut runner, _) = build(Scheme::rpc(), 2, &[1], Annotation::Auto, 3, 5);
+        let m = runner.run(Cycles::ZERO, Cycles(4_000_000));
+        assert_eq!(m.ops, 5);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.dispatch.count(DispatchKind::Migration), 0);
+        assert_eq!(m.dispatch.count(DispatchKind::Remigration), 0);
+        assert_eq!(m.dispatch.site_count("chain-op", DispatchKind::Rpc), 15);
+        assert!(m.policy.is_none(), "engine never consulted");
+        assert_eq!(m.accounting.total(categories::POLICY_DECIDE), 0);
+        assert_eq!(m.accounting.total(categories::POLICY_UPDATE), 0);
+    }
+
+    #[test]
+    fn auto_under_audit_keeps_busy_equal_to_charged() {
+        // The busy==charged identity must hold with policy decisions and
+        // episode updates folded into task slices (metrics() panics if the
+        // audit fails, so reaching the asserts is the test).
+        let mut cfg = MachineConfig::new(4, Scheme::computation_migration());
+        cfg.audit = true;
+        let mut runner = Runner::new(cfg);
+        let targets: Vec<Goid> = (1..4)
+            .map(|p| {
+                runner.system.create_object(
+                    Box::new(Cell {
+                        value: 0,
+                        compute: 100,
+                    }),
+                    ProcId(p),
+                    false,
+                )
+            })
+            .collect();
+        runner.spawn(
+            ProcId(0),
+            Box::new(TestDriver {
+                targets,
+                annotation: Annotation::Auto,
+                repeats: 2,
+                think: Cycles::ZERO,
+                ops_remaining: 8,
+                thinking: false,
+            }),
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(4_000_000));
+        let audit = m.audit.expect("audit requested");
+        assert!(audit.tasks_checked > 0);
+        assert_eq!(audit.grand_total, audit.busy_total + audit.transit_total);
+        assert!(m.policy.is_some(), "Auto was dispatched remotely");
+        assert!(m.accounting.total(categories::POLICY_UPDATE) > 0);
+    }
+
+    #[test]
+    fn auto_migrates_along_a_chain_once_learned() {
+        // Figure-1 chain under Auto: once the site is hot, a detached frame
+        // re-migrates item to item exactly like a static Migrate annotation.
+        let (mut runner, _) = build(
+            Scheme::computation_migration(),
+            4,
+            &[1, 2, 3],
+            Annotation::Auto,
+            1,
+            6,
+        );
+        let m = runner.run(Cycles::ZERO, Cycles(4_000_000));
+        assert_eq!(m.ops, 6);
+        assert!(
+            m.dispatch.site_count("chain-op", DispatchKind::Remigration) > 0,
+            "detached Auto frames consult the policy too"
+        );
+        assert!(m.migrations > 0);
     }
 
     #[test]

@@ -210,12 +210,25 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate p-th percentile (p in 0..=100) using bucket lower bounds.
+    /// Approximate p-th percentile using bucket lower bounds.
+    ///
+    /// The contract, pinned by unit tests:
+    /// * an empty histogram returns 0 for every `p`;
+    /// * `p` is clamped to `0.0..=100.0` (a NaN behaves like 0);
+    /// * `p = 0.0` returns the bucket lower bound of the *smallest*
+    ///   recorded sample (not bucket 0's);
+    /// * `p = 100.0` returns the bucket lower bound of the largest
+    ///   bucketed sample, or [`Histogram::max`] exactly when any sample
+    ///   overflowed the bucket range.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the bounding sample, at least 1 so p = 0 lands on the
+        // smallest recorded sample. (A NaN `p` survives clamp, but the
+        // `as u64` cast saturates NaN to 0 and the max(1) restores rank 1.)
+        let target = (((p / 100.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
@@ -316,5 +329,29 @@ mod tests {
         let h = Histogram::new(10, 4);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0);
+        // The full documented contract for an empty histogram: 0 for every
+        // p, in and out of range.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        assert_eq!(h.percentile(-1.0), 0);
+        assert_eq!(h.percentile(1e9), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        let mut h = Histogram::new(10, 4);
+        h.record(Cycles(25)); // bucket 2
+        h.record(Cycles(31)); // bucket 3
+                              // p = 0 lands on the smallest sample's bucket, not bucket 0.
+        assert_eq!(h.percentile(0.0), 20);
+        assert_eq!(h.percentile(100.0), 30);
+        // Out-of-range p clamps to the endpoints.
+        assert_eq!(h.percentile(-5.0), 20);
+        assert_eq!(h.percentile(250.0), 30);
+        // Overflow samples push p = 100 to the exact max.
+        h.record(Cycles(1234));
+        assert_eq!(h.percentile(100.0), 1234);
+        assert_eq!(h.percentile(0.0), 20);
+        assert_eq!(h.max(), 1234);
     }
 }

@@ -59,6 +59,7 @@ impl Frame for ChainOp {
             Annotation::Migrate => Invoke::migrate(target, MethodId(0), vec![self.sum]),
             Annotation::MigrateAll => Invoke::migrate_all(target, MethodId(0), vec![self.sum]),
             Annotation::Rpc => Invoke::rpc(target, MethodId(0), vec![self.sum]),
+            Annotation::Auto => Invoke::auto(target, MethodId(0), vec![self.sum]),
         };
         StepResult::Invoke(inv)
     }

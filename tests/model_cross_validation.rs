@@ -56,6 +56,7 @@ impl Frame for ChainOp {
             Annotation::Migrate => Invoke::migrate(t, MethodId(0), vec![self.acc]).reading(),
             Annotation::MigrateAll => Invoke::migrate_all(t, MethodId(0), vec![self.acc]).reading(),
             Annotation::Rpc => Invoke::rpc(t, MethodId(0), vec![self.acc]).reading(),
+            Annotation::Auto => Invoke::auto(t, MethodId(0), vec![self.acc]).reading(),
         };
         StepResult::Invoke(inv)
     }
